@@ -1,0 +1,388 @@
+// Command alfbench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4): the Table 1 kernel rates, the §4
+// fusion and presentation experiments, and the §5-§7 architectural
+// claims as parameter sweeps.
+//
+// Usage:
+//
+//	alfbench                     # run everything
+//	alfbench -experiment e2,f2   # run selected experiments
+//	alfbench -quick              # shorter timing budgets
+//	alfbench -csv                # machine-readable output
+//	alfbench -seed 7             # change the simulation seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	alf "repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/xcode"
+)
+
+var (
+	flagExperiment = flag.String("experiment", "all", "comma-separated experiment ids (t1,e2,e3,e4,e5,e6,f1,f2,f3,f4,f5,f6,f7,f8,f9,a1,a2,a3) or 'all'")
+	flagQuick      = flag.Bool("quick", false, "shorter timing budgets (noisier numbers)")
+	flagCSV        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flagSeed       = flag.Int64("seed", 1, "simulation seed")
+)
+
+func main() {
+	flag.Parse()
+	want := map[string]bool{}
+	for _, id := range strings.Split(*flagExperiment, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	all := want["all"]
+	sel := func(id string) bool { return all || want[id] }
+
+	minTime := 200 * time.Millisecond
+	if *flagQuick {
+		minTime = 20 * time.Millisecond
+	}
+
+	runner := &runner{minTime: minTime, csv: *flagCSV, seed: *flagSeed}
+	type exp struct {
+		id string
+		fn func() error
+	}
+	exps := []exp{
+		{"t1", runner.t1},
+		{"e2", runner.e2},
+		{"e3", runner.e3},
+		{"e4", runner.e4},
+		{"e5", runner.e5},
+		{"e6", runner.e6},
+		{"f1", runner.f1},
+		{"f2", runner.f2},
+		{"f3", runner.f3},
+		{"f4", runner.f4},
+		{"f5", runner.f5},
+		{"f6", runner.f6},
+		{"f7", runner.f7},
+		{"f8", runner.f8},
+		{"f9", runner.f9},
+		{"a1", runner.a1},
+		{"a2", runner.a2},
+		{"a3", runner.a3},
+	}
+	ran := 0
+	for _, e := range exps {
+		if !sel(e.id) {
+			continue
+		}
+		ran++
+		if err := e.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "alfbench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "alfbench: no experiment matches %q\n", *flagExperiment)
+		os.Exit(2)
+	}
+}
+
+type runner struct {
+	minTime time.Duration
+	csv     bool
+	seed    int64
+
+	kernels *experiments.KernelReport // shared by t1/e2/e3/e5
+}
+
+func (r *runner) emit(title, paper string, t *stats.Table) {
+	if r.csv {
+		fmt.Printf("# %s\n%s", title, t.CSV())
+		return
+	}
+	fmt.Printf("=== %s ===\n", title)
+	if paper != "" {
+		fmt.Printf("paper: %s\n", paper)
+	}
+	fmt.Println(t.String())
+}
+
+func (r *runner) kernelReport() *experiments.KernelReport {
+	if r.kernels == nil {
+		k := experiments.RunKernels(4096, r.minTime)
+		r.kernels = &k
+	}
+	return r.kernels
+}
+
+func (r *runner) t1() error {
+	k := r.kernelReport()
+	t := stats.NewTable("operation", "Mb/s (this host)", "µVax (paper)", "R2000 (paper)")
+	t.AddRow("Copy", k.Copy, 42, 130)
+	t.AddRow("Checksum", k.Checksum, 60, 115)
+	r.emit("T1: Table 1 — manipulation operation rates (4 KB buffers)",
+		"copy 42/130, checksum 60/115 Mb/s; absolute rates scale with the host, the copy:checksum ratio is the shape", t)
+	return nil
+}
+
+func (r *runner) e2() error {
+	k := r.kernelReport()
+	t := stats.NewTable("variant", "Mb/s", "vs copy")
+	t.AddRow("copy only", k.Copy, 1.0)
+	t.AddRow("checksum only", k.Checksum, k.Checksum/k.Copy)
+	t.AddRow("separate passes (measured)", k.SeparateCopyChecksum, k.SeparateCopyChecksum/k.Copy)
+	t.AddRow("separate passes (harmonic prediction)", k.PredictedSeparate, k.PredictedSeparate/k.Copy)
+	t.AddRow("fused single loop", k.FusedCopyChecksum, k.FusedCopyChecksum/k.Copy)
+	r.emit("E2: copy+checksum — separate passes vs one integrated loop",
+		"130 & 115 Mb/s separately -> ~60 effective; fused loop 90 Mb/s (fused sits well above the serial composition)", t)
+	return nil
+}
+
+func (r *runner) e3() error {
+	k := r.kernelReport()
+	t := stats.NewTable("operation", "Mb/s", "slower than copy")
+	t.AddRow("word copy", k.Copy, 1.0)
+	t.AddRow("BER encode []int32", k.BEREncode, k.Copy/k.BEREncode)
+	t.AddRow("BER decode []int32", k.BERDecode, k.Copy/k.BERDecode)
+	t.AddRow("XDR encode []int32", k.XDREncode, k.Copy/k.XDREncode)
+	t.AddRow("LWTS encode []int32", k.LWTSEncode, k.Copy/k.LWTSEncode)
+	r.emit("E3: presentation conversion vs copy (4 KB of 32-bit integers)",
+		"ASN.1 conversion 28 Mb/s vs copy 130 Mb/s — a factor of 4-5; light-weight syntaxes close most of the gap", t)
+	return nil
+}
+
+func (r *runner) e4() error {
+	rep, err := experiments.RunStack(xcode.BER{}, 64<<10, 8, r.minTime)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("payload", "stack throughput Mb/s")
+	t.AddRow("long OCTET STRING (baseline)", rep.OctetMbps)
+	t.AddRow("equal-length []int32 (conversion)", rep.IntMbps)
+	t.AddRow("slowdown (x)", rep.Slowdown)
+	t.AddRow("presentation share of cost (%)", rep.PresentationShare*100)
+	r.emit("E4: full layered stack (OTP + record session + BER presentation)",
+		"TCP+ISODE: conversion case ~30x slower, ~97% of stack overhead in presentation; with tuned code the paper expects the hand-coded 4-5x end of the range (footnote 5)", t)
+	return nil
+}
+
+func (r *runner) e5() error {
+	k := r.kernelReport()
+	t := stats.NewTable("variant", "Mb/s")
+	t.AddRow("BER conversion alone", k.BEREncode)
+	t.AddRow("BER conversion + fused checksum", k.BEREncodeChecksum)
+	t.AddRow("relative cost of adding checksum (%)",
+		(1-k.BEREncodeChecksum/k.BEREncode)*100)
+	r.emit("E5: checksum fused into the conversion loop",
+		"28 Mb/s alone -> 24 Mb/s fused: the second manipulation is nearly free once the data is in cache", t)
+	return nil
+}
+
+func (r *runner) e6() error {
+	layered, err := experiments.RunStack(xcode.BER{}, 64<<10, 8, r.minTime)
+	if err != nil {
+		return err
+	}
+	ilpRep, err := experiments.RunStackILP(64<<10, 8, r.minTime)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("stack", "octet Mb/s", "[]int32 (BER) Mb/s", "ILP speedup x")
+	t.AddRow("layered (OTP + records + BER)", layered.OctetMbps, layered.IntMbps, "")
+	t.AddRow("ALF + ILP (two fused passes)", ilpRep.OctetMbps, ilpRep.IntMbps, "")
+	t.AddRow("speedup", ilpRep.OctetMbps/layered.OctetMbps, ilpRep.IntMbps/layered.IntMbps, "")
+	r.emit("E6 (synthesis): the proposed architecture vs the status quo",
+		"ALF's two-stage ILP receive (§6) against the one-pass-per-layer stack on the same workloads; once the other passes are fused away, presentation is what remains to tune (§5)", t)
+	return nil
+}
+
+func (r *runner) f1() error {
+	t := stats.NewTable("packet bytes", "control ns/pkt", "manipulation ns/pkt", "ratio")
+	for _, n := range []int{64, 512, 4096, 16384} {
+		c := experiments.RunControl(n, r.minTime/4)
+		t.AddRow(n, c.ControlNs, c.ManipulationNs, c.ManipulationNs/c.ControlNs)
+	}
+	r.emit("F1: transfer control vs data manipulation cost per packet",
+		"control is tens of instructions regardless of size; manipulation grows with every byte (§4)", t)
+	return nil
+}
+
+func (r *runner) f2() error {
+	pts, err := experiments.RunF2Sweep(experiments.F2Config{Seed: r.seed},
+		[]float64{0, 0.5, 1, 2, 5, 10})
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("loss %", "OTP goodput Mb/s", "ALF goodput Mb/s",
+		"OTP app idle %", "ALF app idle %")
+	for _, p := range pts {
+		t.AddRow(p.LossPct, p.OTPGoodputMbps, p.ALFGoodputMbps,
+			p.OTPIdleFrac*100, p.ALFIdleFrac*100)
+	}
+	r.emit("F2: presentation pipeline under loss — in-order stream vs out-of-order ADUs",
+		"a lost packet stops the in-order application 'and since it is the bottleneck, it will never catch up' (§5); ALF keeps the pipeline fed", t)
+	return nil
+}
+
+func (r *runner) f3() error {
+	pts, err := experiments.RunF3Sweep(experiments.F3Config{Seed: r.seed},
+		[]int{64, 256, 1024, 4 << 10, 16 << 10, 64 << 10, 256 << 10})
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("ADU bytes", "P(intact) predicted", "P(intact) measured",
+		"goodput Mb/s", "wire overhead x", "resends")
+	for _, p := range pts {
+		t.AddRow(p.ADUBytes, p.PIntactPredicted, p.PIntactMeasured,
+			p.GoodputMbps, p.Overhead, p.Resends)
+	}
+	r.emit("F3: ADU size vs goodput at fixed bit-error rate",
+		"ADU lengths should be reasonably bounded: tiny ADUs drown in headers, huge ADUs approach certain loss (§5)", t)
+	return nil
+}
+
+func (r *runner) f4() error {
+	pts, err := experiments.RunF4Sweep(experiments.F4Config{Seed: r.seed},
+		[]float64{0, 0.1, 0.5, 1, 2})
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("cell loss %", "cells/ADU", "P(ADU) predicted",
+		"P(ADU) measured", "goodput Mb/s", "resends")
+	for _, p := range pts {
+		t.AddRow(p.CellLossPct, p.CellsPerADU, p.PADUPredicted,
+			p.PADUMeasured, p.GoodputMbps, p.Resends)
+	}
+	r.emit("F4: ADUs over ATM cells (AAL3/4-style adaptation, 44-byte net payload)",
+		"cells are too small to be manipulation units; the adaptation layer detects cell loss and the ADU is the recovery unit (§5, fn 9)", t)
+	return nil
+}
+
+func (r *runner) f5() error {
+	p := experiments.RunPipeline(256<<10, r.minTime)
+	t := stats.NewTable("stages", "layered Mb/s", "ILP fused Mb/s", "ILP advantage x")
+	for k := 1; k <= 5; k++ {
+		t.AddRow(k, p.LayeredMbps[k], p.FusedMbps[k], p.FusedMbps[k]/p.LayeredMbps[k])
+	}
+	r.emit("F5: receive path with k manipulation stages — one pass per layer vs one integrated loop (256 KB)",
+		"the integrated loop reads and writes memory once regardless of stage count; the layered design pays a full pass per stage (§6)", t)
+	return nil
+}
+
+func (r *runner) f6() error {
+	pts, err := experiments.RunF6Sweep(experiments.F6Config{Seed: r.seed},
+		[]int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("workers", "ALF dispatch Mb/s", "serial front end Mb/s", "speedup x")
+	for _, p := range pts {
+		t.AddRow(p.Workers, p.ALFMbps, p.SerialMbps, p.Speedup)
+	}
+	r.emit("F6: parallel receiver — self-dispatching ADUs vs a serial reassembly hot spot",
+		"each ADU contains enough information to control its own delivery; without it all data funnels through one point (§7)", t)
+	return nil
+}
+
+func (r *runner) f7() error {
+	pts, err := experiments.RunF7Sweep(experiments.F7Config{Seed: r.seed},
+		[]float64{0, 1, 3, 5, 10})
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("loss %", "ALF complete %", "ALF usable (complete+partial) %",
+		"OTP on-time %", "OTP retransmits")
+	for _, p := range pts {
+		t.AddRow(p.LossPct, p.ALFOnTimeFrac*100,
+			(p.ALFOnTimeFrac+p.ALFPartialFrac)*100,
+			p.OTPOnTimeFrac*100, p.OTPRetransmits)
+	}
+	r.emit("F7: real-time video under loss — NoRetransmit ALF vs reliable ordered delivery",
+		"for real-time media the application accepts less than perfect delivery and continues (§5); reliable ordered recovery arrives after the deadline", t)
+	return nil
+}
+
+func (r *runner) f8() error {
+	pts, err := experiments.RunF8All(experiments.F8Config{Seed: r.seed})
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("policy", "delivered %", "goodput Mb/s",
+		"sender buffer KB", "resends", "recomputes", "reported lost")
+	for _, p := range pts {
+		t.AddRow(p.Policy.String(), p.DeliveredFrac*100, p.GoodputMbps,
+			p.MaxBufferedKB, p.Resends, p.Recomputes, p.ReportedLost)
+	}
+	r.emit("F8: the three loss-recovery options (§5)",
+		"buffering by the sender transport, recomputation by the sending application, or proceeding without retransmission — all expressible, with their distinct costs", t)
+	_ = alf.SenderBuffered
+	return nil
+}
+
+func (r *runner) f9() error {
+	t := stats.NewTable("loss %", "mode", "delivered %", "goodput Mb/s",
+		"mean latency", "p95 latency", "wire overhead x", "resends", "FEC recovered")
+	for _, loss := range []float64{0.5, 3, 8} {
+		pts, err := experiments.RunF9Sweep(experiments.F9Config{Seed: r.seed}, loss)
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			t.AddRow(p.LossPct, p.Mode, p.DeliveredFrac*100, p.GoodputMbps,
+				p.MeanLatency.String(), p.P95Latency.String(),
+				p.WireOverhead, p.Resends, p.FECRecovered)
+		}
+	}
+	r.emit("F9 (extension): ADU-level forward error correction (footnote 10)",
+		"ADU-level FEC is explicitly permitted; one XOR parity per 4 fragments trades ~25% fixed bandwidth for retransmission-free recovery of single losses", t)
+	return nil
+}
+
+func (r *runner) a1() error {
+	p := experiments.RunPipeline(256<<10, r.minTime)
+	t := stats.NewTable("engineering (2 stages: copy+checksum)", "Mb/s")
+	t.AddRow("layered (one pass per stage)", p.LayeredMbps[2])
+	t.AddRow("generic fused loop (indirect calls)", p.FusedMbps[2])
+	t.AddRow("hand-fused kernel", p.HandFused2)
+	t.AddRow("hand-fused 3-stage (copy+checksum+decrypt)", p.HandFused3)
+	r.emit("A1 (ablation): the cost of generality in ILP",
+		"'vertical integration' risk (§8): the hand kernel is fastest; the generic fused loop trades some of the win for maintainability", t)
+	return nil
+}
+
+func (r *runner) a2() error {
+	inband, err := experiments.RunA2(1<<20, 0, r.seed)
+	if err != nil {
+		return err
+	}
+	oob, err := experiments.RunA2(1<<20, 5*time.Millisecond, r.seed)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("ack strategy", "acks sent", "acks/segment", "goodput Mb/s")
+	t.AddRow("in-band (immediate)", inband.AcksSent, inband.AcksPerSeg, inband.GoodputMbps)
+	t.AddRow("out-of-band (5 ms batch)", oob.AcksSent, oob.AcksPerSeg, oob.GoodputMbps)
+	r.emit("A2 (ablation): in-band vs out-of-band acknowledgement control",
+		"reduce to a minimum the number of in-band control operations (§3)", t)
+	return nil
+}
+
+func (r *runner) a3() error {
+	t := stats.NewTable("loss process", "avg loss %", "FEC-only delivered %", "FEC recovered", "ADUs lost")
+	for _, burst := range []bool{false, true} {
+		name := "independent"
+		if burst {
+			name = "burst (Gilbert-Elliott)"
+		}
+		p, err := experiments.RunA3(experiments.F9Config{}, burst, r.seed+100)
+		if err != nil {
+			return err
+		}
+		t.AddRow(name, p.AvgLossPct, p.DeliveredFrac*100, p.FECRecovered, p.ADUsLost)
+	}
+	r.emit("A3 (ablation): FEC under independent vs bursty loss",
+		"XOR parity recovers one loss per group; correlated loss defeats it — the boundary of footnote 10's suggestion",
+		t)
+	return nil
+}

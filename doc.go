@@ -1,0 +1,15 @@
+// Package repro is a from-scratch reproduction of Clark & Tennenhouse,
+// "Architectural Considerations for a New Generation of Protocols"
+// (SIGCOMM 1990): Application Level Framing (ALF) and Integrated Layer
+// Processing (ILP), together with every substrate the paper's arguments
+// rest on — a discrete-event network simulator, an ATM cell/adaptation
+// layer, a TCP-model ordered transport, a presentation layer (ASN.1
+// BER, XDR, raw, and a light-weight transfer syntax), fused
+// data-manipulation kernels, and the applications (file transfer,
+// video, RPC, parallel receivers) the paper motivates.
+//
+// The root package holds the benchmark suite (bench_test.go), one
+// benchmark per table or figure in DESIGN.md. The library lives under
+// internal/; runnable demos live under examples/; the experiment
+// harness is cmd/alfbench.
+package repro

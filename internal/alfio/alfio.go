@@ -1,0 +1,184 @@
+// Package alfio bridges Go's io idioms onto ALF streams: a Writer that
+// chunks a byte stream into offset-tagged ADUs, and a Collector that
+// reassembles the ordered stream at the receiver.
+//
+// The Collector deliberately reintroduces in-order delivery — it is the
+// compatibility shim for applications that genuinely are byte streams.
+// Everything the paper says about head-of-line blocking applies to it:
+// a missing ADU stalls OnData until recovery. Applications that can
+// consume ADUs out of order should use alf.Receiver.OnADU directly (or
+// filetx for placed writes); this package is for the rest.
+package alfio
+
+import (
+	"errors"
+	"fmt"
+
+	alf "repro/internal/core"
+	"repro/internal/xcode"
+)
+
+// ErrClosed is returned by writes after Close.
+var ErrClosed = errors.New("alfio: writer closed")
+
+// Writer chunks a byte stream into ADUs of fixed size. Each ADU's tag
+// is its starting offset in the stream, so the receiver can reassemble
+// (or place) without any additional framing. Writer buffers partial
+// chunks; call Flush (or Close) to push a short final ADU.
+type Writer struct {
+	snd     *alf.Sender
+	syntax  xcode.SyntaxID
+	aduSize int
+	buf     []byte
+	off     uint64
+	closed  bool
+}
+
+// NewWriter wraps snd. aduSize bounds each ADU's payload (default 8 KiB
+// when <= 0).
+func NewWriter(snd *alf.Sender, syntax xcode.SyntaxID, aduSize int) *Writer {
+	if aduSize <= 0 {
+		aduSize = 8 << 10
+	}
+	return &Writer{snd: snd, syntax: syntax, aduSize: aduSize}
+}
+
+// Write implements io.Writer: it never fails partway unless the
+// transport refuses an ADU, in which case it reports the bytes durably
+// handed over.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, ErrClosed
+	}
+	written := 0
+	for len(p) > 0 {
+		room := w.aduSize - len(w.buf)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		w.buf = append(w.buf, p[:n]...)
+		p = p[n:]
+		written += n
+		if len(w.buf) == w.aduSize {
+			if err := w.emit(); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}
+
+// Flush sends any buffered partial chunk as a short ADU.
+func (w *Writer) Flush() error {
+	if w.closed {
+		return ErrClosed
+	}
+	if len(w.buf) == 0 {
+		return nil
+	}
+	return w.emit()
+}
+
+// Close flushes and marks the writer finished.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	err := w.Flush()
+	w.closed = true
+	return err
+}
+
+// Offset returns the stream offset of the next byte to be written.
+func (w *Writer) Offset() uint64 { return w.off + uint64(len(w.buf)) }
+
+func (w *Writer) emit() error {
+	if _, err := w.snd.Send(w.off, w.syntax, w.buf); err != nil {
+		return fmt.Errorf("alfio: %w", err)
+	}
+	w.off += uint64(len(w.buf))
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Collector rebuilds the ordered byte stream from offset-tagged ADUs.
+// Wire it with rcv.OnADU = c.HandleADU.
+type Collector struct {
+	// OnData receives contiguous stream bytes in order.
+	OnData func([]byte)
+	// OnSkip is told when a lost ADU is skipped (NoRetransmit streams):
+	// the stream jumps from its current offset to next, and delivery
+	// continues. Wire rcv.OnLost to a closure calling Skip if skipping
+	// is acceptable for the application.
+	OnSkip func(from, to uint64)
+
+	next    uint64
+	pending map[uint64][]byte
+	// PendingBytes tracks buffered out-of-order data.
+	PendingBytes int
+}
+
+// NewCollector returns a collector expecting the stream to start at
+// offset 0.
+func NewCollector() *Collector {
+	return &Collector{pending: make(map[uint64][]byte)}
+}
+
+// Next returns the next expected stream offset.
+func (c *Collector) Next() uint64 { return c.next }
+
+// Pending returns the number of buffered out-of-order ADUs.
+func (c *Collector) Pending() int { return len(c.pending) }
+
+// HandleADU consumes one ADU tagged with its stream offset.
+func (c *Collector) HandleADU(adu alf.ADU) {
+	off := adu.Tag
+	if off < c.next {
+		return // duplicate of delivered data
+	}
+	if _, dup := c.pending[off]; dup {
+		return
+	}
+	c.pending[off] = adu.Data
+	c.PendingBytes += len(adu.Data)
+	c.drain()
+}
+
+func (c *Collector) drain() {
+	for {
+		data, ok := c.pending[c.next]
+		if !ok {
+			return
+		}
+		delete(c.pending, c.next)
+		c.PendingBytes -= len(data)
+		c.next += uint64(len(data))
+		if c.OnData != nil {
+			c.OnData(data)
+		}
+	}
+}
+
+// SkipTo abandons the gap before offset to (a lost ADU on a
+// NoRetransmit stream) and resumes in-order delivery there. It reports
+// an error if to is behind the current frontier.
+func (c *Collector) SkipTo(to uint64) error {
+	if to < c.next {
+		return fmt.Errorf("alfio: skip to %d behind frontier %d", to, c.next)
+	}
+	from := c.next
+	// Discard any pending data the skip jumps over.
+	for off, data := range c.pending {
+		if off < to {
+			delete(c.pending, off)
+			c.PendingBytes -= len(data)
+		}
+	}
+	c.next = to
+	if c.OnSkip != nil {
+		c.OnSkip(from, to)
+	}
+	c.drain()
+	return nil
+}

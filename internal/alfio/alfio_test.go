@@ -1,0 +1,268 @@
+package alfio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	alf "repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/xcode"
+)
+
+var _ io.WriteCloser = (*Writer)(nil)
+
+type rig struct {
+	sched *sim.Scheduler
+	w     *Writer
+	c     *Collector
+	out   bytes.Buffer
+}
+
+func newRig(t *testing.T, linkCfg netsim.LinkConfig, acfg alf.Config, aduSize int, seed int64) *rig {
+	t.Helper()
+	s := sim.NewScheduler()
+	n := netsim.New(s, seed)
+	a := n.NewNode("a")
+	b := n.NewNode("b")
+	ab, ba := n.NewDuplex(a, b, linkCfg)
+	snd, err := alf.NewSender(s, ab.Send, acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := alf.NewReceiver(s, ba.Send, acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetHandler(func(p *netsim.Packet) { snd.HandleControl(p.Payload) })
+	b.SetHandler(func(p *netsim.Packet) { rcv.HandlePacket(p.Payload) })
+
+	r := &rig{sched: s}
+	r.w = NewWriter(snd, xcode.SyntaxRaw, aduSize)
+	r.c = NewCollector()
+	r.c.OnData = func(d []byte) { r.out.Write(d) }
+	rcv.OnADU = r.c.HandleADU
+	return r
+}
+
+func stream(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*17 + i>>7)
+	}
+	return b
+}
+
+func TestStreamRoundtrip(t *testing.T) {
+	r := newRig(t, netsim.LinkConfig{Delay: time.Millisecond}, alf.Config{}, 4096, 1)
+	data := stream(100_000)
+	if n, err := r.w.Write(data); err != nil || n != len(data) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	if err := r.w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.Run()
+	if !bytes.Equal(r.out.Bytes(), data) {
+		t.Fatalf("stream mismatch: %d of %d bytes", r.out.Len(), len(data))
+	}
+	if r.c.Pending() != 0 || r.c.PendingBytes != 0 {
+		t.Errorf("pending = %d/%d after completion", r.c.Pending(), r.c.PendingBytes)
+	}
+}
+
+func TestStreamInOrderUnderLoss(t *testing.T) {
+	cfg := alf.Config{NackDelay: 5 * time.Millisecond, NackInterval: 5 * time.Millisecond}
+	r := newRig(t, netsim.LinkConfig{Delay: time.Millisecond, LossProb: 0.08}, cfg, 2048, 7)
+	data := stream(200_000)
+	// In-order invariant checked byte by byte as data arrives.
+	seen := 0
+	r.c.OnData = func(d []byte) {
+		if !bytes.Equal(d, data[seen:seen+len(d)]) {
+			t.Fatalf("out-of-order or corrupt delivery at offset %d", seen)
+		}
+		seen += len(d)
+	}
+	r.w.Write(data)
+	r.w.Close()
+	r.sched.Run()
+	if seen != len(data) {
+		t.Fatalf("delivered %d of %d", seen, len(data))
+	}
+}
+
+func TestManySmallWritesCoalesce(t *testing.T) {
+	r := newRig(t, netsim.LinkConfig{Delay: time.Millisecond}, alf.Config{}, 1000, 1)
+	var want []byte
+	for i := 0; i < 500; i++ {
+		chunk := stream(37)
+		want = append(want, chunk...)
+		r.w.Write(chunk)
+	}
+	r.w.Close()
+	r.sched.Run()
+	if !bytes.Equal(r.out.Bytes(), want) {
+		t.Fatal("coalesced stream mismatch")
+	}
+}
+
+func TestFlushEmitsPartial(t *testing.T) {
+	r := newRig(t, netsim.LinkConfig{Delay: time.Millisecond}, alf.Config{}, 4096, 1)
+	r.w.Write([]byte("partial"))
+	if err := r.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.Run()
+	if r.out.String() != "partial" {
+		t.Fatalf("got %q", r.out.String())
+	}
+	if r.w.Offset() != 7 {
+		t.Errorf("offset = %d", r.w.Offset())
+	}
+	// Double flush with empty buffer is a no-op.
+	if err := r.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	r := newRig(t, netsim.LinkConfig{}, alf.Config{}, 128, 1)
+	r.w.Close()
+	if _, err := r.w.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v", err)
+	}
+	if err := r.w.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestCollectorSkipTo(t *testing.T) {
+	c := NewCollector()
+	var got []byte
+	var skips [][2]uint64
+	c.OnData = func(d []byte) { got = append(got, d...) }
+	c.OnSkip = func(from, to uint64) { skips = append(skips, [2]uint64{from, to}) }
+
+	c.HandleADU(alf.ADU{Tag: 0, Data: []byte("aa")})
+	c.HandleADU(alf.ADU{Tag: 4, Data: []byte("cc")}) // gap at [2,4)
+	if string(got) != "aa" {
+		t.Fatalf("premature delivery: %q", got)
+	}
+	if err := c.SkipTo(4); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aacc" {
+		t.Fatalf("after skip: %q", got)
+	}
+	if len(skips) != 1 || skips[0] != [2]uint64{2, 4} {
+		t.Errorf("skips = %v", skips)
+	}
+	// Skipping backwards is refused.
+	if err := c.SkipTo(1); err == nil {
+		t.Error("backward skip accepted")
+	}
+}
+
+func TestCollectorSkipDiscardsJumpedData(t *testing.T) {
+	c := NewCollector()
+	c.HandleADU(alf.ADU{Tag: 10, Data: []byte("xx")}) // will be jumped over
+	c.HandleADU(alf.ADU{Tag: 20, Data: []byte("yy")})
+	if err := c.SkipTo(20); err != nil {
+		t.Fatal(err)
+	}
+	if c.PendingBytes != 0 || c.Pending() != 0 {
+		t.Errorf("pending %d/%d after skip", c.Pending(), c.PendingBytes)
+	}
+	if c.Next() != 22 {
+		t.Errorf("next = %d, want 22 (drained after skip)", c.Next())
+	}
+}
+
+func TestCollectorDuplicatesIgnored(t *testing.T) {
+	c := NewCollector()
+	total := 0
+	c.OnData = func(d []byte) { total += len(d) }
+	adu := alf.ADU{Tag: 0, Data: []byte("abc")}
+	c.HandleADU(adu)
+	c.HandleADU(adu) // dup of delivered
+	c.HandleADU(alf.ADU{Tag: 10, Data: []byte("z")})
+	c.HandleADU(alf.ADU{Tag: 10, Data: []byte("z")}) // dup of pending
+	if total != 3 || c.Pending() != 1 {
+		t.Errorf("total=%d pending=%d", total, c.Pending())
+	}
+}
+
+func TestWriterChunkingProperty(t *testing.T) {
+	// Any sequence of write sizes produces the identical stream.
+	f := func(sizes []uint8, aduSize uint8) bool {
+		r := newRig(t, netsim.LinkConfig{}, alf.Config{}, int(aduSize%64)+8, 3)
+		var want []byte
+		for _, sz := range sizes {
+			chunk := stream(int(sz))
+			want = append(want, chunk...)
+			if _, err := r.w.Write(chunk); err != nil {
+				return false
+			}
+		}
+		if err := r.w.Close(); err != nil {
+			return false
+		}
+		r.sched.Run()
+		return bytes.Equal(r.out.Bytes(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectorSkipWithNoRetransmitStream(t *testing.T) {
+	// Full pipeline: a NoRetransmit stream carrying a byte stream; the
+	// application wires OnLost to SkipTo so the ordered stream resumes
+	// after unrecoverable holes.
+	s := sim.NewScheduler()
+	n := netsim.New(s, 61)
+	a := n.NewNode("a")
+	b := n.NewNode("b")
+	ab, ba := n.NewDuplex(a, b, netsim.LinkConfig{Delay: time.Millisecond, LossProb: 0.1})
+	cfg := alf.Config{
+		Policy:       alf.NoRetransmit,
+		HoldTime:     50 * time.Millisecond,
+		NackInterval: 10 * time.Millisecond,
+	}
+	snd, _ := alf.NewSender(s, ab.Send, cfg)
+	rcv, _ := alf.NewReceiver(s, ba.Send, cfg)
+	a.SetHandler(func(p *netsim.Packet) { snd.HandleControl(p.Payload) })
+	b.SetHandler(func(p *netsim.Packet) { rcv.HandlePacket(p.Payload) })
+
+	const aduSize = 1024
+	w := NewWriter(snd, xcode.SyntaxRaw, aduSize)
+	c := NewCollector()
+	var delivered, skipped int
+	c.OnData = func(d []byte) { delivered += len(d) }
+	c.OnSkip = func(from, to uint64) { skipped += int(to - from) }
+	rcv.OnADU = c.HandleADU
+	// The loss report names the ADU; ADU names are sequential and each
+	// full ADU is aduSize bytes, so the byte range follows directly.
+	rcv.OnLost = func(name uint64) {
+		c.SkipTo((name + 1) * aduSize)
+	}
+
+	data := stream(200 * aduSize)
+	w.Write(data)
+	w.Close()
+	s.Run()
+
+	if skipped == 0 {
+		t.Fatal("no skips at 10% loss on a NoRetransmit stream")
+	}
+	if delivered+skipped != len(data) {
+		t.Errorf("delivered %d + skipped %d != %d", delivered, skipped, len(data))
+	}
+	if c.Pending() != 0 {
+		t.Errorf("pending = %d at end", c.Pending())
+	}
+}

@@ -1,0 +1,339 @@
+// Package atm models the Asynchronous Transfer Mode substrate the paper
+// singles out (§1, §5): data travels in 53-byte cells with a 48-byte
+// payload, and an adaptation layer consumes part of that payload for
+// segmentation, sequence numbering and error detection, leaving a net
+// 44 bytes — "the net cell payload, after adaptation, is 44-46 bytes"
+// (footnote 9).
+//
+// The adaptation layer here follows the AAL3/4 shape: each cell carries
+// a 2-byte SAR header (segment type, 4-bit sequence number, 10-bit
+// message ID), 44 data bytes, and a 2-byte trailer (6-bit length,
+// 10-bit CRC). Cell loss is detected by sequence-number gaps, exactly
+// the provision the CCITT drafts made "primarily within the Adaptation
+// Layer".
+package atm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Cell geometry.
+const (
+	CellSize   = 53 // header + payload on the wire
+	HeaderSize = 5  // VCI, flags, HEC
+	PayloadLen = 48 // cell payload available to the adaptation layer
+	SARHeader  = 2
+	SARTrailer = 2
+	SARPayload = PayloadLen - SARHeader - SARTrailer // 44 net data bytes
+)
+
+// Segment types in the SAR header.
+const (
+	stCOM = 0 // continuation of message
+	stBOM = 1 // beginning of message
+	stEOM = 2 // end of message
+	stSSM = 3 // single-segment message
+)
+
+// Errors reported by the reassembler. Test with errors.Is.
+var (
+	ErrCellSize  = errors.New("atm: wrong cell size")
+	ErrHEC       = errors.New("atm: header error check failed")
+	ErrCRC       = errors.New("atm: SAR payload CRC failed")
+	ErrSeqGap    = errors.New("atm: cell sequence gap (cell loss)")
+	ErrProtocol  = errors.New("atm: SAR protocol violation")
+	ErrOversize  = errors.New("atm: message exceeds reassembly limit")
+	ErrBadLength = errors.New("atm: SAR length field invalid")
+)
+
+// crc10 implements the AAL3/4 CRC-10 (generator x^10+x^9+x^5+x^4+x+1,
+// i.e. 0x633) over the data bits, bit-at-a-time. It is applied to the
+// SAR header + data + length field with the CRC field zeroed.
+func crc10(crc uint16, data []byte) uint16 {
+	const poly = 0x633
+	for _, b := range data {
+		crc ^= uint16(b) << 2
+		for i := 0; i < 8; i++ {
+			crc <<= 1
+			if crc&0x400 != 0 {
+				crc ^= poly
+			}
+		}
+	}
+	return crc & 0x3FF
+}
+
+// hec computes the 1-byte header error check over the first four header
+// bytes (a simple sum; real ATM uses CRC-8, the detection role is the
+// same).
+func hec(h []byte) byte {
+	var s byte
+	for _, b := range h[:4] {
+		s += b
+	}
+	return ^s
+}
+
+// Segmenter converts messages (ADU-sized byte strings) into cells on one
+// virtual circuit. Each message gets the next 10-bit message ID so that
+// interleaved reassembly at the receiver can keep circuits' messages
+// apart.
+type Segmenter struct {
+	vci  uint16
+	mid  uint16
+	cell [CellSize]byte
+}
+
+// NewSegmenter returns a segmenter for virtual circuit vci.
+func NewSegmenter(vci uint16) *Segmenter {
+	return &Segmenter{vci: vci}
+}
+
+// CellsFor returns the number of cells needed to carry an n-byte
+// message.
+func CellsFor(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return (n + SARPayload - 1) / SARPayload
+}
+
+// Segment splits msg into cells and calls emit for each. The emitted
+// slice is reused across calls; emit must copy if it retains (netsim
+// links copy on Send, so passing straight to Link.Send is safe).
+func (s *Segmenter) Segment(msg []byte, emit func(cell []byte)) {
+	mid := s.mid
+	s.mid = (s.mid + 1) & 0x3FF
+
+	ncells := CellsFor(len(msg))
+	seq := 0
+	for i := 0; i < ncells; i++ {
+		var st byte
+		switch {
+		case ncells == 1:
+			st = stSSM
+		case i == 0:
+			st = stBOM
+		case i == ncells-1:
+			st = stEOM
+		default:
+			st = stCOM
+		}
+		chunk := msg
+		if len(chunk) > SARPayload {
+			chunk = chunk[:SARPayload]
+		}
+		msg = msg[len(chunk):]
+		s.fill(st, byte(seq&0x0F), mid, chunk)
+		seq++
+		emit(s.cell[:])
+	}
+}
+
+// fill builds one cell in place.
+func (s *Segmenter) fill(st, sn byte, mid uint16, data []byte) {
+	c := s.cell[:]
+	// Cell header: VCI(2), flags(1), spare(1), HEC(1).
+	c[0] = byte(s.vci >> 8)
+	c[1] = byte(s.vci)
+	c[2] = 0
+	c[3] = 0
+	c[4] = hec(c)
+	// SAR header: ST(2 bits) | SN(4 bits) | MID(10 bits).
+	p := c[HeaderSize:]
+	p[0] = st<<6 | sn<<2 | byte(mid>>8)
+	p[1] = byte(mid)
+	// Data + zero pad.
+	n := copy(p[SARHeader:SARHeader+SARPayload], data)
+	for i := SARHeader + n; i < SARHeader+SARPayload; i++ {
+		p[i] = 0
+	}
+	// Trailer: LI(6 bits) in first byte, CRC-10 across header+data+LI.
+	p[PayloadLen-2] = byte(n)
+	p[PayloadLen-1] = 0
+	crc := crc10(0, p[:PayloadLen-1])
+	p[PayloadLen-2] = byte(n)&0x3F | byte(crc>>8)<<6
+	p[PayloadLen-1] = byte(crc)
+}
+
+// Reassembler rebuilds messages from cells for any number of message
+// IDs on one virtual circuit. Complete messages are handed to deliver;
+// damaged or gapped messages are dropped and counted.
+type Reassembler struct {
+	vci     uint16
+	deliver func(mid uint16, msg []byte)
+	// MaxMessage bounds reassembly buffer growth; messages larger than
+	// this are discarded. Zero means DefaultMaxMessage.
+	MaxMessage int
+
+	partial map[uint16]*partialMsg
+	Stats   ReassemblyStats
+}
+
+// DefaultMaxMessage bounds a reassembled message to 1 MiB unless
+// overridden.
+const DefaultMaxMessage = 1 << 20
+
+// ReassemblyStats counts reassembler events.
+type ReassemblyStats struct {
+	Cells       int64 // structurally valid cells processed
+	BadCells    int64 // wrong size / HEC / CRC / protocol errors
+	WrongVCI    int64 // cells for another circuit (ignored, not errors)
+	Messages    int64 // complete messages delivered
+	DropsSeqGap int64 // messages abandoned due to detected cell loss
+	DropsOther  int64 // messages abandoned for other reasons
+}
+
+type partialMsg struct {
+	buf     []byte
+	nextSeq byte
+	open    bool
+}
+
+// NewReassembler creates a reassembler for circuit vci.
+func NewReassembler(vci uint16, deliver func(mid uint16, msg []byte)) *Reassembler {
+	return &Reassembler{vci: vci, deliver: deliver, partial: make(map[uint16]*partialMsg)}
+}
+
+// Cell processes one received cell. Errors describe why a cell (or the
+// message it belonged to) was discarded; processing continues across
+// errors.
+func (r *Reassembler) Cell(cell []byte) error {
+	if len(cell) != CellSize {
+		r.Stats.BadCells++
+		return fmt.Errorf("%w: %d", ErrCellSize, len(cell))
+	}
+	if hec(cell) != cell[4] {
+		r.Stats.BadCells++
+		return ErrHEC
+	}
+	vci := uint16(cell[0])<<8 | uint16(cell[1])
+	if vci != r.vci {
+		r.Stats.WrongVCI++
+		return nil
+	}
+	p := cell[HeaderSize:]
+	st := p[0] >> 6
+	sn := p[0] >> 2 & 0x0F
+	mid := uint16(p[0]&0x03)<<8 | uint16(p[1])
+
+	// Verify trailer CRC: recompute over header+data+LI with CRC bits
+	// zeroed.
+	li := p[PayloadLen-2] & 0x3F
+	gotCRC := uint16(p[PayloadLen-2]>>6)<<8 | uint16(p[PayloadLen-1])
+	var tmp [PayloadLen - 1]byte
+	copy(tmp[:], p[:PayloadLen-1])
+	tmp[PayloadLen-2] = li
+	if crc10(0, tmp[:]) != gotCRC {
+		r.Stats.BadCells++
+		// A corrupted cell may hide a gap; the sequence check below
+		// will catch it on the next good cell.
+		return ErrCRC
+	}
+	if int(li) > SARPayload {
+		r.Stats.BadCells++
+		return fmt.Errorf("%w: %d", ErrBadLength, li)
+	}
+	r.Stats.Cells++
+	data := p[SARHeader : SARHeader+int(li)]
+
+	pm := r.partial[mid]
+	switch st {
+	case stSSM:
+		if pm != nil && pm.open {
+			r.abandon(mid, &r.Stats.DropsOther)
+		}
+		r.done(mid, append([]byte(nil), data...))
+		return nil
+	case stBOM:
+		if pm != nil && pm.open {
+			r.abandon(mid, &r.Stats.DropsOther)
+		}
+		r.partial[mid] = &partialMsg{buf: append([]byte(nil), data...), nextSeq: (sn + 1) & 0x0F, open: true}
+		return nil
+	case stCOM, stEOM:
+		if pm != nil && !pm.open {
+			// Remainder of a message we are already discarding. EOM ends
+			// the discard window.
+			if st == stEOM {
+				delete(r.partial, mid)
+			}
+			return nil
+		}
+		if pm == nil {
+			// Middle of a message whose beginning we never saw: the BOM
+			// cell was lost. Count the message once and discard the rest.
+			r.Stats.DropsSeqGap++
+			if st != stEOM {
+				r.partial[mid] = &partialMsg{open: false}
+			}
+			return fmt.Errorf("%w: %s without BOM", ErrSeqGap, stName(st))
+		}
+		if sn != pm.nextSeq {
+			// A cell in the middle was lost. Count once, discard the
+			// rest of this message.
+			r.Stats.DropsSeqGap++
+			if st == stEOM {
+				delete(r.partial, mid)
+			} else {
+				r.partial[mid] = &partialMsg{open: false}
+			}
+			return fmt.Errorf("%w: seq %d, want %d", ErrSeqGap, sn, pm.nextSeq)
+		}
+		pm.nextSeq = (sn + 1) & 0x0F
+		max := r.MaxMessage
+		if max == 0 {
+			max = DefaultMaxMessage
+		}
+		if len(pm.buf)+len(data) > max {
+			r.Stats.DropsOther++
+			if st == stEOM {
+				delete(r.partial, mid)
+			} else {
+				r.partial[mid] = &partialMsg{open: false}
+			}
+			return ErrOversize
+		}
+		pm.buf = append(pm.buf, data...)
+		if st == stEOM {
+			buf := pm.buf
+			delete(r.partial, mid)
+			r.done(mid, buf)
+		}
+		return nil
+	default:
+		r.Stats.BadCells++
+		return ErrProtocol
+	}
+}
+
+func stName(st byte) string {
+	switch st {
+	case stBOM:
+		return "BOM"
+	case stCOM:
+		return "COM"
+	case stEOM:
+		return "EOM"
+	case stSSM:
+		return "SSM"
+	default:
+		return "?"
+	}
+}
+
+func (r *Reassembler) abandon(mid uint16, counter *int64) {
+	delete(r.partial, mid)
+	*counter++
+}
+
+func (r *Reassembler) done(mid uint16, msg []byte) {
+	r.Stats.Messages++
+	if r.deliver != nil {
+		r.deliver(mid, msg)
+	}
+}
+
+// PendingMessages returns the number of partially reassembled messages.
+func (r *Reassembler) PendingMessages() int { return len(r.partial) }

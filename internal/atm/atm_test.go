@@ -1,0 +1,402 @@
+package atm
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// segmentAll collects the cells for one message, copying each.
+func segmentAll(s *Segmenter, msg []byte) [][]byte {
+	var cells [][]byte
+	s.Segment(msg, func(c []byte) {
+		cells = append(cells, append([]byte(nil), c...))
+	})
+	return cells
+}
+
+func TestGeometry(t *testing.T) {
+	if SARPayload != 44 {
+		t.Errorf("SARPayload = %d, want 44 (paper: net payload after adaptation is 44-46)", SARPayload)
+	}
+	if CellSize != 53 || PayloadLen != 48 {
+		t.Errorf("cell geometry %d/%d, want 53/48", CellSize, PayloadLen)
+	}
+}
+
+func TestCellsFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {44, 1}, {45, 2}, {88, 2}, {89, 3},
+	}
+	for _, c := range cases {
+		if got := CellsFor(c.n); got != c.want {
+			t.Errorf("CellsFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSingleCellRoundtrip(t *testing.T) {
+	seg := NewSegmenter(7)
+	var got []byte
+	r := NewReassembler(7, func(mid uint16, msg []byte) { got = msg })
+	for _, c := range segmentAll(seg, []byte("tiny")) {
+		if err := r.Cell(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(got) != "tiny" {
+		t.Fatalf("got %q", got)
+	}
+	if r.Stats.Messages != 1 {
+		t.Errorf("messages = %d", r.Stats.Messages)
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	seg := NewSegmenter(1)
+	delivered := false
+	r := NewReassembler(1, func(mid uint16, msg []byte) {
+		delivered = true
+		if len(msg) != 0 {
+			t.Errorf("msg = %v, want empty", msg)
+		}
+	})
+	cells := segmentAll(seg, nil)
+	if len(cells) != 1 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	if err := r.Cell(cells[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !delivered {
+		t.Error("empty message not delivered")
+	}
+}
+
+func TestMultiCellRoundtrip(t *testing.T) {
+	sizes := []int{45, 88, 100, 1000, 44 * 20}
+	for _, n := range sizes {
+		seg := NewSegmenter(3)
+		msg := make([]byte, n)
+		for i := range msg {
+			msg[i] = byte(i * 7)
+		}
+		var got []byte
+		r := NewReassembler(3, func(mid uint16, m []byte) { got = m })
+		cells := segmentAll(seg, msg)
+		if len(cells) != CellsFor(n) {
+			t.Errorf("n=%d: %d cells, want %d", n, len(cells), CellsFor(n))
+		}
+		for _, c := range cells {
+			if err := r.Cell(c); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("n=%d: reassembly mismatch", n)
+		}
+	}
+}
+
+func TestLostMiddleCellDetected(t *testing.T) {
+	seg := NewSegmenter(9)
+	msg := make([]byte, 44*5)
+	cells := segmentAll(seg, msg)
+	r := NewReassembler(9, func(mid uint16, m []byte) {
+		t.Error("gapped message delivered")
+	})
+	var sawGap bool
+	for i, c := range cells {
+		if i == 2 {
+			continue // lose one COM cell
+		}
+		if err := r.Cell(c); errors.Is(err, ErrSeqGap) {
+			sawGap = true
+		}
+	}
+	if !sawGap {
+		t.Error("cell loss not detected")
+	}
+	if r.Stats.DropsSeqGap != 1 {
+		t.Errorf("DropsSeqGap = %d, want 1 (counted once per message)", r.Stats.DropsSeqGap)
+	}
+}
+
+func TestLostBOMDetected(t *testing.T) {
+	seg := NewSegmenter(9)
+	cells := segmentAll(seg, make([]byte, 44*4))
+	r := NewReassembler(9, func(mid uint16, m []byte) { t.Error("delivered") })
+	for _, c := range cells[1:] {
+		r.Cell(c)
+	}
+	if r.Stats.DropsSeqGap != 1 {
+		t.Errorf("DropsSeqGap = %d, want 1", r.Stats.DropsSeqGap)
+	}
+	if r.PendingMessages() != 0 {
+		t.Errorf("pending = %d after EOM of discarded message", r.PendingMessages())
+	}
+}
+
+func TestLostEOMThenNextMessage(t *testing.T) {
+	seg := NewSegmenter(2)
+	m1 := bytes.Repeat([]byte{1}, 44*3)
+	m2 := bytes.Repeat([]byte{2}, 44*2)
+	c1 := segmentAll(seg, m1)
+	c2 := segmentAll(seg, m2)
+
+	var got [][]byte
+	r := NewReassembler(2, func(mid uint16, m []byte) { got = append(got, m) })
+	for _, c := range c1[:len(c1)-1] { // lose EOM of message 1
+		r.Cell(c)
+	}
+	for _, c := range c2 {
+		r.Cell(c)
+	}
+	// Message 1 must not be delivered; message 2 must be.
+	if len(got) != 1 || !bytes.Equal(got[0], m2) {
+		t.Fatalf("delivered %d messages", len(got))
+	}
+	// The unfinished m1 partial hangs on its own MID until garbage
+	// collected; with distinct MIDs it cannot corrupt m2.
+	if r.Stats.Messages != 1 {
+		t.Errorf("Messages = %d", r.Stats.Messages)
+	}
+}
+
+func TestCorruptedCellCRC(t *testing.T) {
+	seg := NewSegmenter(4)
+	cells := segmentAll(seg, bytes.Repeat([]byte{0xAA}, 100))
+	// Flip a data bit in cell 1: CRC-10 must catch it.
+	cells[1][HeaderSize+10] ^= 0x04
+	r := NewReassembler(4, func(mid uint16, m []byte) { t.Error("corrupt message delivered") })
+	var sawCRC bool
+	for _, c := range cells {
+		if err := r.Cell(c); errors.Is(err, ErrCRC) {
+			sawCRC = true
+		}
+	}
+	if !sawCRC {
+		t.Error("corruption not detected by CRC-10")
+	}
+}
+
+func TestCorruptedHeaderHEC(t *testing.T) {
+	seg := NewSegmenter(4)
+	cells := segmentAll(seg, []byte("x"))
+	cells[0][0] ^= 0x01
+	r := NewReassembler(4, nil)
+	if err := r.Cell(cells[0]); !errors.Is(err, ErrHEC) {
+		t.Errorf("err = %v, want ErrHEC", err)
+	}
+}
+
+func TestWrongVCIIgnored(t *testing.T) {
+	seg := NewSegmenter(5)
+	cells := segmentAll(seg, []byte("x"))
+	r := NewReassembler(6, func(mid uint16, m []byte) { t.Error("delivered on wrong VCI") })
+	if err := r.Cell(cells[0]); err != nil {
+		t.Errorf("wrong VCI should be silently ignored, got %v", err)
+	}
+	if r.Stats.WrongVCI != 1 {
+		t.Errorf("WrongVCI = %d", r.Stats.WrongVCI)
+	}
+}
+
+func TestWrongSizeCell(t *testing.T) {
+	r := NewReassembler(1, nil)
+	if err := r.Cell(make([]byte, 52)); !errors.Is(err, ErrCellSize) {
+		t.Errorf("err = %v, want ErrCellSize", err)
+	}
+}
+
+func TestInterleavedMessages(t *testing.T) {
+	// Two segmenters on the same VCI with different MIDs interleave;
+	// the reassembler must keep them apart. (Emulates two senders
+	// multiplexed onto a circuit.)
+	segA := NewSegmenter(8)
+	segB := NewSegmenter(8)
+	segB.mid = 512 // force distinct MID space
+	mA := bytes.Repeat([]byte{0xA}, 44*3)
+	mB := bytes.Repeat([]byte{0xB}, 44*3)
+	ca := segmentAll(segA, mA)
+	cb := segmentAll(segB, mB)
+
+	var got [][]byte
+	r := NewReassembler(8, func(mid uint16, m []byte) { got = append(got, m) })
+	for i := range ca {
+		r.Cell(ca[i])
+		r.Cell(cb[i])
+	}
+	if len(got) != 2 {
+		t.Fatalf("delivered %d, want 2", len(got))
+	}
+	ok := bytes.Equal(got[0], mA) && bytes.Equal(got[1], mB) ||
+		bytes.Equal(got[0], mB) && bytes.Equal(got[1], mA)
+	if !ok {
+		t.Error("interleaved messages mixed")
+	}
+}
+
+func TestSequenceNumbersWrap(t *testing.T) {
+	// A message longer than 16 cells exercises the 4-bit SN wrap.
+	seg := NewSegmenter(1)
+	msg := make([]byte, 44*40)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	var got []byte
+	r := NewReassembler(1, func(mid uint16, m []byte) { got = m })
+	for _, c := range segmentAll(seg, msg) {
+		if err := r.Cell(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, msg) {
+		t.Error("long message mismatch across SN wrap")
+	}
+}
+
+func TestOversizeMessageBounded(t *testing.T) {
+	seg := NewSegmenter(1)
+	r := NewReassembler(1, func(mid uint16, m []byte) { t.Error("oversize delivered") })
+	r.MaxMessage = 100
+	var sawOversize bool
+	for _, c := range segmentAll(seg, make([]byte, 44*10)) {
+		if err := r.Cell(c); errors.Is(err, ErrOversize) {
+			sawOversize = true
+		}
+	}
+	if !sawOversize {
+		t.Error("oversize message not rejected")
+	}
+	if r.Stats.DropsOther != 1 {
+		t.Errorf("DropsOther = %d, want 1", r.Stats.DropsOther)
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	f := func(msg []byte) bool {
+		if len(msg) > 44*100 {
+			msg = msg[:44*100]
+		}
+		seg := NewSegmenter(2)
+		var got []byte
+		ok := false
+		r := NewReassembler(2, func(mid uint16, m []byte) { got = m; ok = true })
+		for _, c := range segmentAll(seg, msg) {
+			if err := r.Cell(c); err != nil {
+				return false
+			}
+		}
+		return ok && bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRC10KnownProperties(t *testing.T) {
+	// CRC of empty data is 0; CRC is sensitive to single-bit changes.
+	if crc10(0, nil) != 0 {
+		t.Error("crc10(nil) != 0")
+	}
+	a := []byte("hello world")
+	b := []byte("hellp world")
+	if crc10(0, a) == crc10(0, b) {
+		t.Error("crc10 collision on single-bit-ish change")
+	}
+	if crc10(0, a)&^0x3FF != 0 {
+		t.Error("crc10 wider than 10 bits")
+	}
+}
+
+func TestOverNetsimLossyLink(t *testing.T) {
+	// End-to-end over netsim: messages over a cell-loss link; the
+	// reassembler must deliver only intact messages, and cell loss must
+	// translate into whole-message loss (the ADU loss-unit argument).
+	s := sim.NewScheduler()
+	n := netsim.New(s, 21)
+	a := n.NewNode("a")
+	b := n.NewNode("b")
+	link := n.NewLink(a, b, netsim.LinkConfig{MTU: CellSize, LossProb: 0.02})
+
+	seg := NewSegmenter(1)
+	delivered := 0
+	r := NewReassembler(1, func(mid uint16, m []byte) { delivered++ })
+	b.SetHandler(func(p *netsim.Packet) { r.Cell(p.Payload) })
+
+	const nmsg = 300
+	msg := make([]byte, 44*10) // 10 cells per message
+	for i := 0; i < nmsg; i++ {
+		seg.Segment(msg, func(c []byte) { link.Send(c) })
+	}
+	s.Run()
+
+	if delivered == 0 || delivered == nmsg {
+		t.Fatalf("delivered = %d of %d, want partial", delivered, nmsg)
+	}
+	// With ~2% cell loss and 10 cells/message, P(msg survives) ~ 0.98^10
+	// ~ 0.82. Allow a wide band.
+	frac := float64(delivered) / nmsg
+	if frac < 0.70 || frac > 0.92 {
+		t.Errorf("survival rate = %v, want ~0.82", frac)
+	}
+	if r.Stats.DropsSeqGap == 0 {
+		t.Error("no sequence-gap drops recorded despite cell loss")
+	}
+}
+
+func TestArbitraryCellLossNeverCorrupts(t *testing.T) {
+	// Property: deliver any subset of a message's cells in order — the
+	// reassembler either delivers the exact original or nothing.
+	f := func(msgSeed int64, dropMask uint32) bool {
+		r := rand.New(rand.NewSource(msgSeed))
+		msg := make([]byte, 44*8+r.Intn(100))
+		r.Read(msg)
+		seg := NewSegmenter(6)
+		var delivered [][]byte
+		re := NewReassembler(6, func(mid uint16, m []byte) {
+			delivered = append(delivered, m)
+		})
+		i := 0
+		seg.Segment(msg, func(c []byte) {
+			if dropMask&(1<<uint(i%32)) == 0 {
+				re.Cell(append([]byte(nil), c...))
+			}
+			i++
+		})
+		for _, d := range delivered {
+			if !bytes.Equal(d, msg) {
+				return false
+			}
+		}
+		return len(delivered) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReassemblerFuzzNeverPanics(t *testing.T) {
+	re := NewReassembler(1, func(uint16, []byte) {})
+	f := func(cell []byte) bool {
+		re.Cell(cell)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Also fuzz with correct-size cells (random contents).
+	g := func(body [CellSize]byte) bool {
+		re.Cell(body[:])
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

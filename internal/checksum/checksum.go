@@ -1,0 +1,129 @@
+// Package checksum implements the error-detection kernels used as data
+// manipulation stages throughout the stack: the Internet one's-complement
+// checksum (the "TCP checksum" of the paper's Table 1), Fletcher-32, and
+// CRC-32.
+//
+// The Internet checksum is written word-at-a-time with an unrolled inner
+// loop, mirroring the hand-coded unrolled loops the paper measured. All
+// functions are allocation-free.
+package checksum
+
+import "encoding/binary"
+
+// Sum16 computes the Internet checksum (RFC 1071 style: 16-bit one's
+// complement of the one's-complement sum) over data. The returned value
+// is the checksum field content: the complemented fold of the sum.
+func Sum16(data []byte) uint16 {
+	return ^Fold(Accumulate(0, data))
+}
+
+// Verify16 reports whether data whose trailing/embedded checksum is
+// already included sums to the all-ones pattern, i.e. the data is intact.
+func Verify16(data []byte) bool {
+	return Fold(Accumulate(0, data)) == 0xffff
+}
+
+// Accumulate adds data into a running 32-bit partial one's-complement
+// sum. Use Fold to collapse the result to 16 bits. Partial sums over
+// consecutive even-length chunks may be chained; data here is treated as
+// big-endian 16-bit words with an implicit zero pad on odd length (so
+// only the final chunk of a chained computation may have odd length).
+//
+// The inner loop is unrolled eight words at a time, the paper's
+// "hand coded unrolled loop" discipline.
+func Accumulate(sum uint64, data []byte) uint64 {
+	// 8x unrolled 16-bit word loop.
+	for len(data) >= 16 {
+		sum += uint64(binary.BigEndian.Uint16(data[0:2])) +
+			uint64(binary.BigEndian.Uint16(data[2:4])) +
+			uint64(binary.BigEndian.Uint16(data[4:6])) +
+			uint64(binary.BigEndian.Uint16(data[6:8])) +
+			uint64(binary.BigEndian.Uint16(data[8:10])) +
+			uint64(binary.BigEndian.Uint16(data[10:12])) +
+			uint64(binary.BigEndian.Uint16(data[12:14])) +
+			uint64(binary.BigEndian.Uint16(data[14:16]))
+		data = data[16:]
+	}
+	for len(data) >= 2 {
+		sum += uint64(binary.BigEndian.Uint16(data[0:2]))
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint64(data[0]) << 8
+	}
+	return sum
+}
+
+// Fold collapses a partial sum into the 16-bit one's-complement result
+// (not yet complemented).
+func Fold(sum uint64) uint16 {
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return uint16(sum)
+}
+
+// Fletcher32 computes the Fletcher-32 checksum over data, treating it as
+// a sequence of big-endian 16-bit words (odd length is zero-padded).
+// Offered as the cheaper alternative error code for ablations.
+func Fletcher32(data []byte) uint32 {
+	var c0, c1 uint32
+	for len(data) > 0 {
+		// Fletcher requires periodic modular reduction; 359 words is the
+		// largest block that cannot overflow 32-bit accumulators.
+		block := len(data)
+		if block > 718 {
+			block = 718
+		}
+		chunk := data[:block]
+		data = data[block:]
+		for len(chunk) >= 2 {
+			c0 += uint32(binary.BigEndian.Uint16(chunk[0:2]))
+			c1 += c0
+			chunk = chunk[2:]
+		}
+		if len(chunk) == 1 {
+			c0 += uint32(chunk[0]) << 8
+			c1 += c0
+		}
+		c0 %= 65535
+		c1 %= 65535
+	}
+	return c1<<16 | c0
+}
+
+// crcTable is the IEEE 802.3 reflected CRC-32 lookup table, built at
+// package init from the reversed polynomial 0xEDB88320.
+var crcTable [256]uint32
+
+func init() {
+	const poly = 0xEDB88320
+	for i := range crcTable {
+		crc := uint32(i)
+		for k := 0; k < 8; k++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ poly
+			} else {
+				crc >>= 1
+			}
+		}
+		crcTable[i] = crc
+	}
+}
+
+// CRC32 computes the IEEE CRC-32 of data (same algorithm as Ethernet,
+// gzip, and hash/crc32's IEEE table), implemented from scratch with the
+// standard byte-wise table method.
+func CRC32(data []byte) uint32 {
+	return CRC32Update(0, data)
+}
+
+// CRC32Update continues a CRC-32 computation: pass the previous return
+// value (or 0 to start) and the next chunk.
+func CRC32Update(crc uint32, data []byte) uint32 {
+	crc = ^crc
+	for _, b := range data {
+		crc = crcTable[byte(crc)^b] ^ crc>>8
+	}
+	return ^crc
+}

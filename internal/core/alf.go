@@ -1,0 +1,207 @@
+// Package alf implements Application Level Framing — the paper's key
+// architectural principle (§5, §7) — as a transport whose unit of
+// transfer, manipulation, and error recovery is the Application Data
+// Unit (ADU), not the packet or the byte stream.
+//
+// ADUs carry a sender-assigned sequential name and an opaque
+// application tag (the "higher-level name-space in which ADUs are
+// named": a file offset, a (frame, slice) pair, an RPC call id).
+// Complete ADUs are delivered to the application as soon as they
+// arrive, out of order with respect to other ADUs — a lost packet never
+// stalls the presentation pipeline behind it.
+//
+// Receive processing is the paper's two-stage structure (§6):
+//
+//   - Stage one, per arriving fragment: control only (demultiplex,
+//     locate the fragment's slot) plus one fused data pass that copies
+//     the fragment into place, decrypts it (position-addressable
+//     keystream, so any fragment order works), and accumulates the
+//     ADU's checksum — internal/ilp kernels, one load and one store per
+//     word.
+//   - Stage two, on ADU completion: fold the checksum, and hand the
+//     whole ADU to the application (which may then run presentation
+//     conversion, also out of order).
+//
+// Loss recovery is application-directed (§5 "the manner of coping with
+// data loss is highly dependent on the needs of the application"):
+//
+//   - SenderBuffered: the transport keeps a ciphertext copy and
+//     retransmits whole ADUs on NACK (the classic transport model).
+//   - AppRecompute: the transport buffers nothing; on NACK it asks the
+//     sending application to regenerate the ADU.
+//   - NoRetransmit: losses are reported to the receiving application
+//     and skipped (real-time delivery).
+//
+// Losses are always expressed in ADU names — terms meaningful to the
+// application — never in byte offsets.
+package alf
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/xcode"
+)
+
+// Policy selects the loss-recovery scheme for a stream (§5).
+type Policy uint8
+
+const (
+	// SenderBuffered keeps a copy at the sending transport and resends
+	// whole ADUs when the receiver reports them missing.
+	SenderBuffered Policy = iota + 1
+	// AppRecompute asks the sending application (via Sender.OnResend)
+	// to regenerate a missing ADU; the transport buffers nothing.
+	AppRecompute
+	// NoRetransmit never recovers: the receiver reports the loss to its
+	// application (via Receiver.OnLost) and moves on.
+	NoRetransmit
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case SenderBuffered:
+		return "sender-buffered"
+	case AppRecompute:
+		return "app-recompute"
+	case NoRetransmit:
+		return "no-retransmit"
+	default:
+		return "invalid-policy"
+	}
+}
+
+// ADU is a received Application Data Unit.
+type ADU struct {
+	// Name is the sender-assigned sequential identity of this ADU
+	// within its stream. Losses are reported in these terms.
+	Name uint64
+	// Tag is the application's own naming information, carried opaquely
+	// (e.g. destination file offset, (frame<<32)|slice, RPC id).
+	Tag uint64
+	// Syntax identifies the transfer syntax of Data.
+	Syntax xcode.SyntaxID
+	// Data is the complete ADU payload (plaintext). The receiver
+	// transfers ownership to the application.
+	Data []byte
+}
+
+// Errors. Test with errors.Is.
+var (
+	ErrADUTooLarge  = errors.New("alf: ADU exceeds MaxADU")
+	ErrBufferLimit  = errors.New("alf: sender retention buffer full")
+	ErrBadHeader    = errors.New("alf: malformed or corrupt header")
+	ErrWrongStream  = errors.New("alf: fragment for another stream")
+	ErrNameOrder    = errors.New("alf: ADU names must be assigned by the sender")
+	ErrMTUTooSmall  = errors.New("alf: MTU leaves no fragment payload")
+	ErrInconsistent = errors.New("alf: fragment disagrees with earlier fragments of the same ADU")
+)
+
+// Config parameterizes one stream. The same Config should be given to
+// both ends. Zero fields take defaults.
+type Config struct {
+	// StreamID demultiplexes streams sharing a node.
+	StreamID byte
+	// MTU is the maximum wire fragment size including the ALF header
+	// (default 1024+HeaderSize). The fragment payload is
+	// (MTU-HeaderSize) rounded down to a multiple of 8.
+	MTU int
+	// RateBps paces fragment emission (0 = unpaced). Rate negotiation
+	// is out-of-band by design (§3): call Sender.SetRate at any time.
+	RateBps float64
+	// Policy selects loss recovery (default SenderBuffered).
+	Policy Policy
+	// Key enables encryption when non-zero. Each ADU is enciphered
+	// under (Key, Name) with a position-addressable keystream, so ADUs
+	// and fragments decrypt in any order.
+	Key uint64
+	// NackDelay is how long the receiver waits after first noticing a
+	// gap before requesting recovery, to let reordering settle
+	// (default 20 ms).
+	NackDelay sim.Duration
+	// NackInterval is the receiver's scan period for gaps and repeat
+	// NACKs (default 20 ms).
+	NackInterval sim.Duration
+	// HoldTime bounds how long the receiver waits for an ADU before
+	// declaring it lost to the application (default 2 s; NoRetransmit
+	// streams typically set this near the playout deadline).
+	HoldTime sim.Duration
+	// MaxNacks bounds recovery attempts per ADU (default 10).
+	MaxNacks int
+	// MaxADU bounds a single ADU (default 16 MiB).
+	MaxADU int
+	// BufferLimit bounds sender retention under SenderBuffered
+	// (default 64 MiB of payload).
+	BufferLimit int
+	// HeartbeatInterval is how often the sender declares the extent of
+	// the stream while deliveries are unconfirmed, so a receiver can
+	// detect tail loss (default = NackInterval).
+	HeartbeatInterval sim.Duration
+	// HeartbeatLimit bounds consecutive heartbeats without receiver
+	// progress before the sender stops trying (default 200). It exists
+	// so a dead path eventually goes quiet.
+	HeartbeatLimit int
+	// NameWindow bounds how far ahead of the settled frontier an
+	// arriving ADU name may claim to be (default 1<<20). Headers are
+	// protected by a 16-bit checksum, so one in ~65k corrupted headers
+	// survives verification; without this bound a surviving garbage
+	// name would have the receiver record an astronomically large gap.
+	NameWindow uint64
+	// FECGroup enables forward error correction on ADU sub-units
+	// (paper footnote 10): after every FECGroup data fragments of an
+	// ADU, the sender emits one XOR parity fragment, letting the
+	// receiver reconstruct any single lost fragment per group without a
+	// retransmission round trip. Zero disables FEC. The bandwidth
+	// overhead is 1/FECGroup.
+	FECGroup int
+}
+
+func (c *Config) fill() {
+	if c.MTU == 0 {
+		c.MTU = 1024 + HeaderSize
+	}
+	if c.Policy == 0 {
+		c.Policy = SenderBuffered
+	}
+	if c.NackDelay == 0 {
+		c.NackDelay = 20 * time.Millisecond
+	}
+	if c.NackInterval == 0 {
+		c.NackInterval = 20 * time.Millisecond
+	}
+	if c.HoldTime == 0 {
+		c.HoldTime = 2 * time.Second
+	}
+	if c.MaxNacks == 0 {
+		c.MaxNacks = 10
+	}
+	if c.MaxADU == 0 {
+		c.MaxADU = 16 << 20
+	}
+	if c.BufferLimit == 0 {
+		c.BufferLimit = 64 << 20
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = c.NackInterval
+	}
+	if c.HeartbeatLimit == 0 {
+		c.HeartbeatLimit = 200
+	}
+	if c.NameWindow == 0 {
+		c.NameWindow = 1 << 20
+	}
+}
+
+// fragPayload returns the usable payload bytes per fragment: the MTU
+// minus the header, rounded down to a multiple of 8 (the fused-kernel
+// alignment unit) and capped at what the 16-bit wire length field can
+// carry.
+func (c *Config) fragPayload() int {
+	fp := (c.MTU - HeaderSize) &^ 7
+	if fp > 0xFFF8 {
+		fp = 0xFFF8
+	}
+	return fp
+}

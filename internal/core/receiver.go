@@ -1,0 +1,456 @@
+package alf
+
+import (
+	"fmt"
+
+	"repro/internal/ilp"
+	"repro/internal/scramble"
+	"repro/internal/sim"
+	"repro/internal/xcode"
+)
+
+// ReceiverStats counts receiver events.
+type ReceiverStats struct {
+	Fragments     int64 // valid fragments accepted
+	FragmentBytes int64
+	HeaderDrops   int64 // fragments with corrupt/malformed headers
+	DupFragments  int64
+	LateFragments int64 // fragments for already-settled ADUs
+	Inconsistent  int64 // fragments contradicting earlier ones
+	TooLarge      int64 // ADUs beyond MaxADU
+	ADUsDelivered int64
+	ADUsLost      int64 // given up and reported to the application
+	OutOfOrder    int64 // ADUs delivered while a lower name was unsettled
+	ChecksumFails int64 // complete ADUs whose checksum failed
+	NacksSent     int64 // recovery requests (ADU names, total)
+	CtrlSent      int64 // control messages
+	Heartbeats    int64 // sender extent declarations processed
+	ParityFrags   int64 // FEC parity fragments accepted
+	FECRecovered  int64 // data fragments rebuilt from parity
+}
+
+// partial is an ADU under reassembly.
+type partial struct {
+	tag       uint64
+	syntax    xcode.SyntaxID
+	flags     byte
+	check     uint16
+	total     int
+	buf       []byte
+	got       map[int]int    // data fragment offset -> length (duplicate detection)
+	parities  map[int][]byte // FEC group start offset -> parity payload
+	gotBytes  int
+	sum       uint64 // accumulated plaintext partial checksum
+	firstSeen sim.Time
+	nacks     int
+	lastNack  sim.Time
+}
+
+// missing tracks a wholly unseen ADU name (detected via the sequential
+// name-space).
+type missing struct {
+	noticed  sim.Time
+	nacks    int
+	lastNack sim.Time
+}
+
+// nackDue applies exponential backoff to recovery requests: the n-th
+// NACK for an ADU waits NackDelay<<min(n,5) after the previous one, so
+// a congested path is not hammered with duplicate requests.
+func nackDue(now sim.Time, first, last sim.Time, nacks int, delay sim.Duration) bool {
+	if nacks == 0 {
+		return now.Sub(first) >= delay
+	}
+	shift := nacks
+	if shift > 5 {
+		shift = 5
+	}
+	return now.Sub(last) >= delay<<uint(shift)
+}
+
+// Receiver is the receiving half of an ALF stream. Complete ADUs are
+// delivered out of order as they finish; unrecoverable ones are
+// reported in ADU terms.
+type Receiver struct {
+	cfg   Config
+	sched *sim.Scheduler
+	send  func([]byte) error // control channel back to the sender
+
+	// OnADU receives each complete ADU the moment it completes —
+	// possibly out of order. Ownership of ADU.Data transfers.
+	OnADU func(ADU)
+	// OnLost is told when an ADU is abandoned (NoRetransmit policy, or
+	// recovery exhausted). The application decides what that means.
+	OnLost func(name uint64)
+
+	partials map[uint64]*partial
+	missings map[uint64]*missing
+	resolved map[uint64]bool // settled names >= cum
+	cum      uint64          // every name < cum is settled
+	highest  uint64          // highest name observed
+	anySeen  bool
+	lastCum  uint64 // last cum value reported to the sender
+
+	scan *sim.Timer
+
+	Stats ReceiverStats
+}
+
+// NewReceiver creates the receiving end of a stream. send transmits
+// control messages back toward the sender (may be nil for one-way
+// simulations; recovery then never happens).
+func NewReceiver(sched *sim.Scheduler, send func([]byte) error, cfg Config) (*Receiver, error) {
+	cfg.fill()
+	if cfg.fragPayload() < 8 {
+		return nil, ErrMTUTooSmall
+	}
+	r := &Receiver{
+		cfg:      cfg,
+		sched:    sched,
+		send:     send,
+		partials: make(map[uint64]*partial),
+		missings: make(map[uint64]*missing),
+		resolved: make(map[uint64]bool),
+	}
+	r.scan = sched.NewTimer(r.onScan)
+	return r, nil
+}
+
+// Config returns the effective configuration.
+func (r *Receiver) Config() Config { return r.cfg }
+
+// Settled returns the name below which every ADU is settled (delivered
+// or reported lost).
+func (r *Receiver) Settled() uint64 { return r.cum }
+
+// Pending returns the number of ADUs currently under reassembly.
+func (r *Receiver) Pending() int { return len(r.partials) }
+
+// HandlePacket processes one arriving wire packet (DATA fragment or
+// heartbeat; CTRL is ignored here — control flows to the Sender).
+func (r *Receiver) HandlePacket(pkt []byte) error {
+	if len(pkt) > 0 && pkt[0] == typeHB {
+		return r.handleHeartbeat(pkt)
+	}
+	h, err := parseHeader(pkt)
+	if err != nil {
+		r.Stats.HeaderDrops++
+		return err
+	}
+	if h.Stream != r.cfg.StreamID {
+		return ErrWrongStream
+	}
+	if h.Name < r.cum || r.resolved[h.Name] {
+		r.Stats.LateFragments++
+		return nil
+	}
+	if h.Name >= r.cum+r.cfg.NameWindow {
+		// A name implausibly far ahead of the settled frontier: almost
+		// certainly a corrupted header that survived the 16-bit check.
+		r.Stats.HeaderDrops++
+		return fmt.Errorf("%w: name %d beyond window (settled %d)", ErrBadHeader, h.Name, r.cum)
+	}
+	if h.TotalLen > r.cfg.MaxADU {
+		r.Stats.TooLarge++
+		return ErrADUTooLarge
+	}
+
+	if h.Name > r.highest || !r.anySeen {
+		r.noteGapsUpTo(h.Name)
+		r.highest = h.Name
+		r.anySeen = true
+	}
+	delete(r.missings, h.Name)
+
+	p, ok := r.partials[h.Name]
+	if !ok {
+		p = &partial{
+			tag:       h.Tag,
+			syntax:    h.Syntax,
+			flags:     h.Flags &^ flagParity,
+			check:     h.ADUCheck,
+			total:     h.TotalLen,
+			buf:       make([]byte, h.TotalLen),
+			got:       make(map[int]int),
+			firstSeen: r.sched.Now(),
+		}
+		r.partials[h.Name] = p
+		r.armScan()
+	} else if p.total != h.TotalLen || p.tag != h.Tag || p.check != h.ADUCheck {
+		r.Stats.Inconsistent++
+		return ErrInconsistent
+	}
+	payload := pkt[HeaderSize : HeaderSize+h.FragLen]
+
+	if h.Flags&flagParity != 0 {
+		r.handleParity(h, p, payload)
+		if p.gotBytes >= p.total {
+			r.complete(h.Name, p)
+		}
+		return nil
+	}
+
+	if _, dup := p.got[h.FragOff]; dup {
+		r.Stats.DupFragments++
+		return nil
+	}
+	r.placeFragment(h.Name, p, h.FragOff, payload)
+	r.Stats.Fragments++
+	r.Stats.FragmentBytes += int64(h.FragLen)
+
+	// A newly placed fragment may make an FEC group reconstructible
+	// (all-but-one present, parity held).
+	if len(p.parities) > 0 {
+		r.tryReconstruct(h.Name, p, r.groupStart(h.FragOff))
+	}
+	if p.gotBytes >= p.total {
+		r.complete(h.Name, p)
+	}
+	return nil
+}
+
+// placeFragment runs the stage-one single data pass: place the fragment
+// (or a reconstructed one), decipher it, and extend the ADU checksum —
+// fused (§6).
+func (r *Receiver) placeFragment(name uint64, p *partial, off int, payload []byte) {
+	p.got[off] = len(payload)
+	if p.flags&flagEnciphered != 0 {
+		p.sum += ilp.FusedDecryptCopySum(p.buf[off:off+len(payload)], payload, r.cfg.Key^name, off)
+	} else {
+		p.sum += ilp.FusedCopySum(p.buf[off:off+len(payload)], payload)
+	}
+	p.gotBytes += len(payload)
+}
+
+// groupStart returns the FEC group start offset for a fragment offset.
+func (r *Receiver) groupStart(off int) int {
+	group := r.cfg.FECGroup * r.cfg.fragPayload()
+	if group <= 0 {
+		return 0
+	}
+	return off / group * group
+}
+
+// handleParity stores an FEC parity fragment and attempts recovery.
+func (r *Receiver) handleParity(h *header, p *partial, payload []byte) {
+	if p.parities == nil {
+		p.parities = make(map[int][]byte)
+	}
+	if _, dup := p.parities[h.FragOff]; dup {
+		r.Stats.DupFragments++
+		return
+	}
+	p.parities[h.FragOff] = append([]byte(nil), payload...)
+	r.Stats.ParityFrags++
+	r.tryReconstruct(h.Name, p, h.FragOff)
+}
+
+// tryReconstruct rebuilds the single missing data fragment of the FEC
+// group starting at gs, if its parity is held and exactly one fragment
+// is absent. Reconstruction recovers the wire (enciphered) bytes, so
+// the rebuilt fragment flows through the same fused stage-one pass.
+func (r *Receiver) tryReconstruct(name uint64, p *partial, gs int) {
+	parity, ok := p.parities[gs]
+	if !ok || r.cfg.FECGroup <= 0 {
+		return
+	}
+	fp := r.cfg.fragPayload()
+	missingOff := -1
+	for off := gs; off < p.total && off < gs+r.cfg.FECGroup*fp; off += fp {
+		if _, have := p.got[off]; !have {
+			if missingOff >= 0 {
+				return // two or more missing: XOR parity cannot help
+			}
+			missingOff = off
+		}
+	}
+	if missingOff < 0 {
+		return // group complete; parity unneeded
+	}
+	missingLen := p.total - missingOff
+	if missingLen > fp {
+		missingLen = fp
+	}
+	if missingLen > len(parity) {
+		// A malformed parity shorter than the fragment it must rebuild.
+		r.Stats.Inconsistent++
+		return
+	}
+	// recon = parity XOR (wire bytes of every present fragment in the
+	// group). p.buf holds plaintext, so re-encipher present fragments
+	// when the stream is keyed — recovery-path cost only.
+	recon := append([]byte(nil), parity...)
+	for off := gs; off < p.total && off < gs+r.cfg.FECGroup*fp; off += fp {
+		n, have := p.got[off]
+		if !have {
+			continue
+		}
+		chunk := p.buf[off : off+n]
+		if p.flags&flagEnciphered != 0 {
+			tmp := append([]byte(nil), chunk...)
+			scramble.XORAt(r.cfg.Key^name, off, tmp)
+			chunk = tmp
+		}
+		for i := range chunk {
+			recon[i] ^= chunk[i]
+		}
+	}
+	r.Stats.FECRecovered++
+	r.placeFragment(name, p, missingOff, recon[:missingLen])
+}
+
+// handleHeartbeat learns the declared stream extent: names below next
+// that we have no state for are missing (this is how wholesale tail
+// loss becomes visible), and the sender is answered with the current
+// settle frontier so it can release retention even when earlier control
+// messages were lost.
+func (r *Receiver) handleHeartbeat(pkt []byte) error {
+	stream, next, err := parseHeartbeat(pkt)
+	if err != nil {
+		r.Stats.HeaderDrops++
+		return err
+	}
+	if stream != r.cfg.StreamID {
+		return ErrWrongStream
+	}
+	r.Stats.Heartbeats++
+	if next > r.cum+r.cfg.NameWindow {
+		// Same corruption defence as for data fragments: never let a
+		// declared extent open an implausible gap.
+		r.Stats.HeaderDrops++
+		return fmt.Errorf("%w: heartbeat extent %d beyond window (settled %d)", ErrBadHeader, next, r.cum)
+	}
+	if next > 0 {
+		r.noteGapsUpTo(next)
+		if !r.anySeen || next-1 > r.highest {
+			r.highest = next - 1
+			r.anySeen = true
+		}
+	}
+	if r.send != nil {
+		r.Stats.CtrlSent++
+		r.lastCum = r.cum
+		_ = r.send(encodeControl(&control{Stream: r.cfg.StreamID, Cum: r.cum}))
+	}
+	return nil
+}
+
+// noteGapsUpTo records wholly-missing names implied by a new highest
+// name (sequential name-space: everything between the old and new
+// highest that we have no state for must be in flight or lost).
+func (r *Receiver) noteGapsUpTo(name uint64) {
+	start := r.cum
+	if r.anySeen && r.highest+1 > start {
+		start = r.highest + 1
+	}
+	now := r.sched.Now()
+	for n := start; n < name; n++ {
+		if !r.resolved[n] && r.partials[n] == nil {
+			r.missings[n] = &missing{noticed: now}
+		}
+	}
+	if name > start || len(r.missings) > 0 {
+		r.armScan()
+	}
+}
+
+// complete finishes stage two for one ADU: verify and deliver.
+func (r *Receiver) complete(name uint64, p *partial) {
+	delete(r.partials, name)
+	if ilp.FinishSum(p.sum) != p.check {
+		// A damaged ADU is a lost ADU (§5): discard it whole and let
+		// recovery request it again.
+		r.Stats.ChecksumFails++
+		r.missings[name] = &missing{noticed: r.sched.Now(), nacks: p.nacks}
+		r.armScan()
+		return
+	}
+	if name > r.cum {
+		r.Stats.OutOfOrder++
+	}
+	r.settle(name)
+	r.Stats.ADUsDelivered++
+	if r.OnADU != nil {
+		r.OnADU(ADU{Name: name, Tag: p.tag, Syntax: p.syntax, Data: p.buf})
+	}
+}
+
+// settle marks a name resolved and advances the cumulative frontier.
+func (r *Receiver) settle(name uint64) {
+	r.resolved[name] = true
+	for r.resolved[r.cum] {
+		delete(r.resolved, r.cum)
+		r.cum++
+	}
+}
+
+// armScan ensures the periodic gap scan is running.
+func (r *Receiver) armScan() {
+	if !r.scan.Active() {
+		r.scan.Reset(r.cfg.NackInterval)
+	}
+}
+
+// onScan is the receiver's periodic recovery pass: NACK overdue gaps,
+// abandon hopeless ADUs, and refresh the sender's release frontier.
+func (r *Receiver) onScan() {
+	now := r.sched.Now()
+	var nacks []uint64
+
+	giveUp := func(name uint64) {
+		r.Stats.ADUsLost++
+		r.settle(name)
+		if r.OnLost != nil {
+			r.OnLost(name)
+		}
+	}
+
+	// Wholly-missing names.
+	for name, m := range r.missings {
+		age := now.Sub(m.noticed)
+		switch {
+		case r.cfg.Policy == NoRetransmit || m.nacks >= r.cfg.MaxNacks:
+			if age >= r.cfg.HoldTime {
+				delete(r.missings, name)
+				giveUp(name)
+			}
+		case nackDue(now, m.noticed, m.lastNack, m.nacks, r.cfg.NackDelay):
+			if len(nacks) < maxNacksPerMsg {
+				nacks = append(nacks, name)
+				m.nacks++
+				m.lastNack = now
+			}
+		}
+	}
+	// Incomplete partials.
+	for name, p := range r.partials {
+		age := now.Sub(p.firstSeen)
+		switch {
+		case r.cfg.Policy == NoRetransmit || p.nacks >= r.cfg.MaxNacks:
+			if age >= r.cfg.HoldTime {
+				delete(r.partials, name)
+				giveUp(name)
+			}
+		case nackDue(now, p.firstSeen, p.lastNack, p.nacks, r.cfg.NackDelay):
+			if len(nacks) < maxNacksPerMsg {
+				nacks = append(nacks, name)
+				p.nacks++
+				p.lastNack = now
+			}
+		}
+	}
+
+	if r.cfg.Policy == NoRetransmit {
+		nacks = nil
+	}
+	if r.send != nil && (len(nacks) > 0 || r.cum != r.lastCum) {
+		r.Stats.CtrlSent++
+		r.Stats.NacksSent += int64(len(nacks))
+		r.lastCum = r.cum
+		_ = r.send(encodeControl(&control{Stream: r.cfg.StreamID, Cum: r.cum, Nacks: nacks}))
+	}
+
+	if len(r.partials) > 0 || len(r.missings) > 0 || r.cum != r.lastCum {
+		r.scan.Reset(r.cfg.NackInterval)
+	}
+}

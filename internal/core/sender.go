@@ -1,0 +1,347 @@
+package alf
+
+import (
+	"fmt"
+
+	"repro/internal/checksum"
+	"repro/internal/ilp"
+	"repro/internal/sim"
+	"repro/internal/xcode"
+)
+
+// SenderStats counts sender events.
+type SenderStats struct {
+	ADUs          int64 // ADUs submitted
+	Fragments     int64 // first-transmission fragments
+	Bytes         int64 // first-transmission payload bytes
+	ResentADUs    int64 // whole-ADU retransmissions (SenderBuffered)
+	RecomputeADUs int64 // whole-ADU regenerations (AppRecompute)
+	ResentFrags   int64
+	UnfilledNacks int64 // NACKs we could not satisfy
+	Released      int64 // buffered ADUs freed by cumulative acks
+	CtrlReceived  int64
+	CtrlDropped   int64 // corrupt control messages
+	Heartbeats    int64
+	ParityFrags   int64 // FEC parity fragments emitted
+}
+
+// savedADU is the retention copy under SenderBuffered: the wire-form
+// (possibly enciphered) payload plus everything needed to re-fragment.
+type savedADU struct {
+	tag    uint64
+	syntax xcode.SyntaxID
+	wire   []byte
+	check  uint16
+}
+
+// Sender is the sending half of an ALF stream.
+type Sender struct {
+	cfg   Config
+	sched *sim.Scheduler
+	send  func([]byte) error
+
+	// OnResend supplies ADU payloads under the AppRecompute policy: the
+	// application regenerates the data (and its tag and syntax) for a
+	// named ADU, or reports that it cannot. The returned payload must
+	// equal the original or the receiver's checksum will reject it.
+	OnResend func(name uint64) (tag uint64, syntax xcode.SyntaxID, data []byte, ok bool)
+	// OnRelease, if set, is told when retention of a buffered ADU ends
+	// (delivery confirmed or given up by the receiver).
+	OnRelease func(name uint64)
+
+	nextName  uint64
+	buffered  map[uint64]*savedADU
+	bufBytes  int
+	pacerFree sim.Time
+
+	// Heartbeat: declares the stream extent to the receiver while
+	// deliveries are unconfirmed, so tail loss is detectable.
+	// emittedNext tracks the extent actually handed to the network (the
+	// pacer may still hold later ADUs; declaring those would make the
+	// receiver chase data that was never sent).
+	hb          *sim.Timer
+	lastCum     uint64
+	hbMisses    int
+	emittedNext uint64
+
+	Stats SenderStats
+}
+
+// NewSender creates the sending end of a stream. send transmits one
+// wire packet toward the receiver.
+func NewSender(sched *sim.Scheduler, send func([]byte) error, cfg Config) (*Sender, error) {
+	cfg.fill()
+	if cfg.fragPayload() < 8 {
+		return nil, fmt.Errorf("%w: MTU %d", ErrMTUTooSmall, cfg.MTU)
+	}
+	s := &Sender{
+		cfg:      cfg,
+		sched:    sched,
+		send:     send,
+		buffered: make(map[uint64]*savedADU),
+	}
+	s.hb = sched.NewTimer(s.onHeartbeat)
+	return s, nil
+}
+
+// onHeartbeat periodically declares the stream extent until the
+// receiver confirms it (or the limit gives up on a dead path).
+func (s *Sender) onHeartbeat() {
+	if s.lastCum >= s.nextName || s.hbMisses >= s.cfg.HeartbeatLimit {
+		return
+	}
+	s.hbMisses++
+	if s.emittedNext > 0 {
+		s.Stats.Heartbeats++
+		_ = s.send(encodeHeartbeat(s.cfg.StreamID, s.emittedNext))
+	}
+	s.hb.Reset(s.cfg.HeartbeatInterval)
+}
+
+// Config returns the effective configuration.
+func (s *Sender) Config() Config { return s.cfg }
+
+// NextName returns the name the next Send will assign.
+func (s *Sender) NextName() uint64 { return s.nextName }
+
+// BufferedBytes returns the payload bytes currently retained for
+// retransmission.
+func (s *Sender) BufferedBytes() int { return s.bufBytes }
+
+// BufferedADUs returns the number of ADUs currently retained.
+func (s *Sender) BufferedADUs() int { return len(s.buffered) }
+
+// SetRate changes the pacing rate (out-of-band rate control, §3). Zero
+// disables pacing.
+func (s *Sender) SetRate(bps float64) { s.cfg.RateBps = bps }
+
+// Send frames data as the next ADU and transmits its fragments. tag is
+// the application's naming information for the ADU (file offset, frame
+// and slice, call id); syntax identifies how data is encoded. It
+// returns the assigned ADU name.
+//
+// The data is copied (and under a non-zero Key, enciphered) before
+// return; the caller may reuse the buffer.
+func (s *Sender) Send(tag uint64, syntax xcode.SyntaxID, data []byte) (uint64, error) {
+	if len(data) > s.cfg.MaxADU {
+		return 0, fmt.Errorf("%w: %d bytes", ErrADUTooLarge, len(data))
+	}
+	name := s.nextName
+
+	// One fused pass: plaintext checksum accumulated while the wire
+	// form (enciphered under (Key, name) when enabled) is produced.
+	wire := make([]byte, len(data))
+	var ck uint16
+	if s.cfg.Key != 0 {
+		ck = ilp.FinishSum(ilp.FusedEncryptCopySum(wire, data, s.cfg.Key^name, 0))
+	} else {
+		ck = ilp.FinishSum(ilp.FusedCopySum(wire, data))
+	}
+
+	if s.cfg.Policy == SenderBuffered {
+		if s.bufBytes+len(wire) > s.cfg.BufferLimit {
+			return 0, fmt.Errorf("%w: %d retained", ErrBufferLimit, s.bufBytes)
+		}
+		s.buffered[name] = &savedADU{tag: tag, syntax: syntax, wire: wire, check: ck}
+		s.bufBytes += len(wire)
+	}
+
+	s.nextName++
+	s.Stats.ADUs++
+	s.transmitADU(name, tag, syntax, wire, ck, false)
+	if !s.hb.Active() {
+		s.hb.Reset(s.cfg.HeartbeatInterval)
+	}
+	return name, nil
+}
+
+// transmitADU fragments and (re)sends one ADU's wire payload, emitting
+// an XOR parity fragment after every FECGroup data fragments when FEC
+// is enabled.
+func (s *Sender) transmitADU(name, tag uint64, syntax xcode.SyntaxID, wire []byte, ck uint16, isResend bool) {
+	var flags byte
+	if s.cfg.Key != 0 {
+		flags |= flagEnciphered
+	}
+	frag := s.cfg.fragPayload()
+	h := header{
+		Stream:   s.cfg.StreamID,
+		Name:     name,
+		Tag:      tag,
+		Syntax:   syntax,
+		Flags:    flags,
+		TotalLen: len(wire),
+		ADUCheck: ck,
+	}
+	var (
+		parity    []byte // XOR accumulator for the current group
+		parityOff int    // group start offset
+		inGroup   int    // data fragments accumulated
+	)
+	emitParity := func() {
+		if s.cfg.FECGroup <= 0 || inGroup == 0 {
+			return
+		}
+		ph := h
+		ph.Flags |= flagParity
+		ph.FragOff = parityOff
+		ph.FragLen = len(parity)
+		pkt := make([]byte, HeaderSize+len(parity))
+		putHeader(pkt, &ph)
+		copy(pkt[HeaderSize:], parity)
+		s.emit(pkt, isResend, 0)
+		s.Stats.ParityFrags++
+		parity, inGroup = nil, 0
+	}
+	off := 0
+	for {
+		n := len(wire) - off
+		if n > frag {
+			n = frag
+		}
+		h.FragOff = off
+		h.FragLen = n
+		pkt := make([]byte, HeaderSize+n)
+		putHeader(pkt, &h)
+		copy(pkt[HeaderSize:], wire[off:off+n])
+		markNext := uint64(0)
+		if !isResend && off+n >= len(wire) {
+			markNext = name + 1 // final fragment: the ADU is fully emitted
+		}
+		s.emit(pkt, isResend, markNext)
+		if isResend {
+			s.Stats.ResentFrags++
+		} else {
+			s.Stats.Fragments++
+			s.Stats.Bytes += int64(n)
+		}
+		if s.cfg.FECGroup > 0 {
+			if inGroup == 0 {
+				parityOff = off
+				parity = make([]byte, n) // first (longest) fragment of the group
+				copy(parity, wire[off:off+n])
+			} else {
+				for i := 0; i < n; i++ {
+					parity[i] ^= wire[off+i]
+				}
+			}
+			inGroup++
+			if inGroup == s.cfg.FECGroup {
+				emitParity()
+			}
+		}
+		off += n
+		if off >= len(wire) {
+			break
+		}
+	}
+	emitParity()
+}
+
+// emit sends one packet now or at the paced time. Recovery traffic
+// (priority) bypasses the pacer: a retransmission that queues behind
+// the rest of a long paced stream re-creates exactly the head-of-line
+// latency ALF exists to remove, and its volume is bounded by the
+// receiver's NACK backoff.
+func (s *Sender) emit(pkt []byte, priority bool, markNext uint64) {
+	mark := func() {
+		if markNext > s.emittedNext {
+			s.emittedNext = markNext
+		}
+	}
+	if s.cfg.RateBps <= 0 || priority {
+		_ = s.send(pkt)
+		mark()
+		return
+	}
+	tx := sim.Duration(float64(len(pkt)*8) / s.cfg.RateBps * 1e9)
+	at := s.sched.Now()
+	if s.pacerFree > at {
+		at = s.pacerFree
+	}
+	s.pacerFree = at.Add(tx)
+	if at == s.sched.Now() {
+		_ = s.send(pkt)
+		mark()
+		return
+	}
+	s.sched.At(at, func() {
+		_ = s.send(pkt)
+		mark()
+	})
+}
+
+// HandleControl processes a control message from the receiver:
+// cumulative releases and per-ADU recovery requests.
+func (s *Sender) HandleControl(pkt []byte) error {
+	c, err := parseControl(pkt)
+	if err != nil {
+		s.Stats.CtrlDropped++
+		return err
+	}
+	if c.Stream != s.cfg.StreamID {
+		return ErrWrongStream
+	}
+	s.Stats.CtrlReceived++
+	if c.Cum > s.lastCum {
+		s.lastCum = c.Cum
+		s.hbMisses = 0
+	}
+	if s.lastCum >= s.nextName {
+		s.hb.Stop()
+	}
+
+	// Release everything settled at the receiver.
+	for name, saved := range s.buffered {
+		if name < c.Cum {
+			s.bufBytes -= len(saved.wire)
+			delete(s.buffered, name)
+			s.Stats.Released++
+			if s.OnRelease != nil {
+				s.OnRelease(name)
+			}
+		}
+	}
+
+	for _, name := range c.Nacks {
+		s.resend(name)
+	}
+	return nil
+}
+
+// resend recovers one ADU according to the stream policy.
+func (s *Sender) resend(name uint64) {
+	switch s.cfg.Policy {
+	case SenderBuffered:
+		saved, ok := s.buffered[name]
+		if !ok {
+			s.Stats.UnfilledNacks++
+			return
+		}
+		s.Stats.ResentADUs++
+		s.transmitADU(name, saved.tag, saved.syntax, saved.wire, saved.check, true)
+	case AppRecompute:
+		if s.OnResend == nil {
+			s.Stats.UnfilledNacks++
+			return
+		}
+		tag, syntax, data, ok := s.OnResend(name)
+		if !ok {
+			s.Stats.UnfilledNacks++
+			return
+		}
+		wire := make([]byte, len(data))
+		var ck uint16
+		if s.cfg.Key != 0 {
+			ck = ilp.FinishSum(ilp.FusedEncryptCopySum(wire, data, s.cfg.Key^name, 0))
+		} else {
+			copy(wire, data)
+			ck = checksum.Sum16(data)
+		}
+		s.Stats.RecomputeADUs++
+		s.transmitADU(name, tag, syntax, wire, ck, true)
+	case NoRetransmit:
+		// Receivers on NoRetransmit streams do not NACK; ignore any
+		// that arrive.
+	}
+}

@@ -1,0 +1,210 @@
+package alf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/checksum"
+	"repro/internal/xcode"
+)
+
+// HeaderSize is the DATA fragment header length.
+//
+// Layout (big-endian):
+//
+//	0      type (1=DATA, 2=CTRL)
+//	1      stream id
+//	2:10   ADU name
+//	10:18  application tag
+//	18     transfer syntax id
+//	19     flags (bit0: payload enciphered)
+//	20:24  ADU total length
+//	24:28  fragment offset within the ADU
+//	28:30  fragment payload length
+//	30:32  ADU checksum (Internet checksum of the whole plaintext ADU)
+//	32:34  header checksum
+//
+// Note what is absent: no byte-stream sequence number. Every field
+// describes the ADU — the delivery information travels with the data,
+// "not just visible at the application protocol layer but to all the
+// protocol functions" (§7).
+const HeaderSize = 34
+
+// Packet types.
+const (
+	typeData = 1
+	typeCtrl = 2
+	typeHB   = 3
+)
+
+// Header flags.
+const (
+	flagEnciphered = 1 << 0
+	// flagParity marks a forward-error-correction fragment: its payload
+	// is the XOR of the data fragments whose offsets lie in
+	// [FragOff, FragOff + FECGroup*fragPayload), each zero-padded to
+	// the parity's FragLen. TotalLen and the ADU checksum describe the
+	// ADU as usual so a parity fragment can also create the reassembly
+	// state.
+	flagParity = 1 << 1
+)
+
+// header is the decoded DATA fragment header.
+type header struct {
+	Stream   byte
+	Name     uint64
+	Tag      uint64
+	Syntax   xcode.SyntaxID
+	Flags    byte
+	TotalLen int
+	FragOff  int
+	FragLen  int
+	ADUCheck uint16
+}
+
+// putHeader encodes h into buf[:HeaderSize] and stamps the header
+// checksum.
+func putHeader(buf []byte, h *header) {
+	buf[0] = typeData
+	buf[1] = h.Stream
+	binary.BigEndian.PutUint64(buf[2:10], h.Name)
+	binary.BigEndian.PutUint64(buf[10:18], h.Tag)
+	buf[18] = byte(h.Syntax)
+	buf[19] = h.Flags
+	binary.BigEndian.PutUint32(buf[20:24], uint32(h.TotalLen))
+	binary.BigEndian.PutUint32(buf[24:28], uint32(h.FragOff))
+	binary.BigEndian.PutUint16(buf[28:30], uint16(h.FragLen))
+	binary.BigEndian.PutUint16(buf[30:32], h.ADUCheck)
+	buf[32], buf[33] = 0, 0
+	ck := checksum.Sum16(buf[:HeaderSize])
+	binary.BigEndian.PutUint16(buf[32:34], ck)
+}
+
+// parseHeader decodes and verifies a DATA fragment header.
+func parseHeader(pkt []byte) (*header, error) {
+	if len(pkt) < HeaderSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadHeader, len(pkt))
+	}
+	if !checksum.Verify16(pkt[:HeaderSize]) {
+		return nil, fmt.Errorf("%w: header checksum", ErrBadHeader)
+	}
+	if pkt[0] != typeData {
+		return nil, fmt.Errorf("%w: type %d", ErrBadHeader, pkt[0])
+	}
+	h := &header{
+		Stream:   pkt[1],
+		Name:     binary.BigEndian.Uint64(pkt[2:10]),
+		Tag:      binary.BigEndian.Uint64(pkt[10:18]),
+		Syntax:   xcode.SyntaxID(pkt[18]),
+		Flags:    pkt[19],
+		TotalLen: int(binary.BigEndian.Uint32(pkt[20:24])),
+		FragOff:  int(binary.BigEndian.Uint32(pkt[24:28])),
+		FragLen:  int(binary.BigEndian.Uint16(pkt[28:30])),
+		ADUCheck: binary.BigEndian.Uint16(pkt[30:32]),
+	}
+	if len(pkt) < HeaderSize+h.FragLen {
+		return nil, fmt.Errorf("%w: fragment truncated", ErrBadHeader)
+	}
+	if h.TotalLen < 0 || h.FragOff < 0 || h.FragOff+h.FragLen > h.TotalLen {
+		if !(h.TotalLen == 0 && h.FragLen == 0 && h.FragOff == 0) {
+			return nil, fmt.Errorf("%w: bounds (%d+%d of %d)", ErrBadHeader, h.FragOff, h.FragLen, h.TotalLen)
+		}
+	}
+	if h.FragOff%8 != 0 {
+		return nil, fmt.Errorf("%w: unaligned fragment offset %d", ErrBadHeader, h.FragOff)
+	}
+	return h, nil
+}
+
+// Control message layout (big-endian):
+//
+//	0      type (2=CTRL)
+//	1      stream id
+//	2:10   cumulative resolved name: every ADU named < this is settled
+//	10:12  NACK count k (whole-ADU recovery requests)
+//	12:..  k * 8-byte ADU names
+//	..+2   header checksum over the whole message
+type control struct {
+	Stream byte
+	Cum    uint64
+	Nacks  []uint64
+}
+
+// maxNacksPerMsg bounds one control message to stay under typical MTUs.
+const maxNacksPerMsg = 64
+
+func encodeControl(c *control) []byte {
+	n := len(c.Nacks)
+	msg := make([]byte, 12+8*n+2)
+	msg[0] = typeCtrl
+	msg[1] = c.Stream
+	binary.BigEndian.PutUint64(msg[2:10], c.Cum)
+	binary.BigEndian.PutUint16(msg[10:12], uint16(n))
+	for i, name := range c.Nacks {
+		binary.BigEndian.PutUint64(msg[12+8*i:], name)
+	}
+	ck := checksum.Sum16(msg)
+	binary.BigEndian.PutUint16(msg[len(msg)-2:], ck)
+	return msg
+}
+
+func parseControl(pkt []byte) (*control, error) {
+	if len(pkt) < 14 || pkt[0] != typeCtrl {
+		return nil, fmt.Errorf("%w: control", ErrBadHeader)
+	}
+	if !checksum.Verify16(pkt) {
+		return nil, fmt.Errorf("%w: control checksum", ErrBadHeader)
+	}
+	n := int(binary.BigEndian.Uint16(pkt[10:12]))
+	if len(pkt) != 12+8*n+2 {
+		return nil, fmt.Errorf("%w: control length %d for %d nacks", ErrBadHeader, len(pkt), n)
+	}
+	c := &control{Stream: pkt[1], Cum: binary.BigEndian.Uint64(pkt[2:10])}
+	for i := 0; i < n; i++ {
+		c.Nacks = append(c.Nacks, binary.BigEndian.Uint64(pkt[12+8*i:]))
+	}
+	return c, nil
+}
+
+// Heartbeat layout (big-endian): the sender's periodic declaration of
+// how far the stream extends, so a receiver can detect gaps even when
+// the tail of the stream is lost entirely (a pure NACK scheme is blind
+// to losses after the last arrival).
+//
+//	0     type (3=HB)
+//	1     stream id
+//	2:10  next unassigned ADU name (everything below exists)
+//	10:12 checksum
+const heartbeatSize = 12
+
+func encodeHeartbeat(stream byte, next uint64) []byte {
+	msg := make([]byte, heartbeatSize)
+	msg[0] = typeHB
+	msg[1] = stream
+	binary.BigEndian.PutUint64(msg[2:10], next)
+	binary.BigEndian.PutUint16(msg[10:12], checksum.Sum16(msg))
+	return msg
+}
+
+func parseHeartbeat(pkt []byte) (stream byte, next uint64, err error) {
+	if len(pkt) != heartbeatSize || pkt[0] != typeHB || !checksum.Verify16(pkt) {
+		return 0, 0, fmt.Errorf("%w: heartbeat", ErrBadHeader)
+	}
+	return pkt[1], binary.BigEndian.Uint64(pkt[2:10]), nil
+}
+
+// PacketType inspects a wire packet and reports whether it is an ALF
+// DATA fragment (1), control message (2), heartbeat (3), or unknown
+// (0). Useful for demultiplexers that share a node between protocols.
+// DATA and HB packets flow sender->receiver; CTRL flows back.
+func PacketType(pkt []byte) int {
+	if len(pkt) == 0 {
+		return 0
+	}
+	switch pkt[0] {
+	case typeData, typeCtrl, typeHB:
+		return int(pkt[0])
+	default:
+		return 0
+	}
+}

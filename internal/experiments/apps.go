@@ -1,0 +1,521 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	alf "repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/otp"
+	"repro/internal/parallel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/video"
+	"repro/internal/xcode"
+)
+
+// F6Point is one worker-count sample of the §7 parallel-receiver
+// experiment: ADUs self-dispatching to workers versus every byte
+// squeezing through a serial reassembly hot spot first.
+type F6Point struct {
+	Workers        int
+	ALFMakespan    sim.Duration
+	SerialMakespan sim.Duration
+	ALFMbps        float64
+	SerialMbps     float64
+	// Speedup is SerialMakespan / ALFMakespan.
+	Speedup float64
+}
+
+// F6Config parameterizes the parallel experiment.
+type F6Config struct {
+	Bytes     int     // total workload (default 8 MB)
+	ADUBytes  int     // default 16 KB
+	WorkerBps float64 // per-worker processing rate, bytes/s (default 10e6)
+	LinkBps   float64 // network rate (default fast: 1e9)
+	Seed      int64
+}
+
+func (c *F6Config) fill() {
+	if c.Bytes == 0 {
+		c.Bytes = 8 << 20
+	}
+	if c.ADUBytes == 0 {
+		c.ADUBytes = 16 << 10
+	}
+	if c.WorkerBps == 0 {
+		c.WorkerBps = 10e6
+	}
+	if c.LinkBps == 0 {
+		c.LinkBps = 1e9
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// RunF6 measures one worker count. Both variants receive the identical
+// ADU stream over a clean fast link; they differ only in whether a
+// serializing front end (running at WorkerBps, the speed of one
+// processor node — the "hot spot which must run at the aggregate speed
+// of the total processor" that parallel machines lack) sits before the
+// workers.
+func RunF6(cfg F6Config, workers int) (F6Point, error) {
+	cfg.fill()
+	p := F6Point{Workers: workers}
+
+	run := func(serial bool) (sim.Duration, error) {
+		s := sim.NewScheduler()
+		n := netsim.New(s, cfg.Seed)
+		a := n.NewNode("a")
+		b := n.NewNode("b")
+		ab, ba := n.NewDuplex(a, b, netsim.LinkConfig{RateBps: cfg.LinkBps, Delay: time.Millisecond})
+		acfg := alf.Config{MTU: 8192 + alf.HeaderSize, RateBps: cfg.LinkBps}
+		snd, err := alf.NewSender(s, ab.Send, acfg)
+		if err != nil {
+			return 0, err
+		}
+		rcv, err := alf.NewReceiver(s, ba.Send, acfg)
+		if err != nil {
+			return 0, err
+		}
+		a.SetHandler(func(pk *netsim.Packet) { snd.HandleControl(pk.Payload) })
+		b.SetHandler(func(pk *netsim.Packet) { rcv.HandlePacket(pk.Payload) })
+
+		serialBps := 0.0
+		if serial {
+			serialBps = cfg.WorkerBps
+		}
+		pool := parallel.NewPool(s, workers, cfg.WorkerBps, serialBps)
+		rcv.OnADU = pool.HandleADU
+
+		total := 0
+		for off, i := 0, 0; off < cfg.Bytes; off, i = off+cfg.ADUBytes, i+1 {
+			nb := cfg.ADUBytes
+			if off+nb > cfg.Bytes {
+				nb = cfg.Bytes - off
+			}
+			if _, err := snd.Send(uint64(i), xcode.SyntaxRaw, make([]byte, nb)); err != nil {
+				return 0, err
+			}
+			total++
+		}
+		if err := s.Run(); err != nil {
+			return 0, err
+		}
+		if pool.Dispatched != int64(total) {
+			return 0, fmt.Errorf("f6: dispatched %d of %d", pool.Dispatched, total)
+		}
+		return sim.Duration(pool.LastFinish), nil
+	}
+
+	var err error
+	if p.ALFMakespan, err = run(false); err != nil {
+		return p, err
+	}
+	if p.SerialMakespan, err = run(true); err != nil {
+		return p, err
+	}
+	p.ALFMbps = stats.Mbps(int64(cfg.Bytes), p.ALFMakespan)
+	p.SerialMbps = stats.Mbps(int64(cfg.Bytes), p.SerialMakespan)
+	if p.ALFMakespan > 0 {
+		p.Speedup = p.SerialMakespan.Seconds() / p.ALFMakespan.Seconds()
+	}
+	return p, nil
+}
+
+// RunF6Sweep runs the worker sweep of the F6 figure.
+func RunF6Sweep(cfg F6Config, workerCounts []int) ([]F6Point, error) {
+	pts := make([]F6Point, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		pt, err := RunF6(cfg, w)
+		if err != nil {
+			return pts, err
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// F7Point is one loss-rate sample of the real-time video experiment:
+// the fraction of frames complete at their playout deadline for an ALF
+// NoRetransmit stream versus a reliable ordered (OTP) stream carrying
+// the same frames.
+type F7Point struct {
+	LossPct        float64
+	ALFOnTimeFrac  float64
+	ALFPartialFrac float64
+	OTPOnTimeFrac  float64
+	FramesSent     int64
+	ALFResends     int64 // must be zero
+	OTPRetransmits int64
+}
+
+// F7Config parameterizes the video experiment.
+type F7Config struct {
+	Frames       int // default 120
+	FPS          float64
+	Slices       int
+	SliceBytes   int
+	LinkBps      float64
+	DelayMs      float64
+	PlayoutDelay sim.Duration // default 40 ms
+	Seed         int64
+}
+
+func (c *F7Config) fill() {
+	if c.Frames == 0 {
+		c.Frames = 120
+	}
+	if c.FPS == 0 {
+		c.FPS = 30
+	}
+	if c.Slices == 0 {
+		c.Slices = 5
+	}
+	if c.SliceBytes == 0 {
+		c.SliceBytes = 1000
+	}
+	if c.LinkBps == 0 {
+		c.LinkBps = 20e6
+	}
+	if c.DelayMs == 0 {
+		c.DelayMs = 10
+	}
+	if c.PlayoutDelay == 0 {
+		// Tight playout budget: one-way transit fits, a retransmission
+		// round trip does not — the regime where "proceed without
+		// retransmission" wins (§5).
+		c.PlayoutDelay = 25 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// RunF7 measures one loss point.
+func RunF7(cfg F7Config, lossPct float64) (F7Point, error) {
+	cfg.fill()
+	p := F7Point{LossPct: lossPct, FramesSent: int64(cfg.Frames)}
+	loss := lossPct / 100
+	linkCfg := netsim.LinkConfig{
+		RateBps:  cfg.LinkBps,
+		Delay:    sim.Duration(cfg.DelayMs * float64(time.Millisecond)),
+		LossProb: loss,
+	}
+	vcfg := video.SourceConfig{FPS: cfg.FPS, SlicesPerFrame: cfg.Slices, SliceBytes: cfg.SliceBytes}
+
+	// --- ALF NoRetransmit. ---
+	{
+		s := sim.NewScheduler()
+		n := netsim.New(s, cfg.Seed)
+		a := n.NewNode("a")
+		b := n.NewNode("b")
+		ab, ba := n.NewDuplex(a, b, linkCfg)
+		acfg := alf.Config{
+			Policy:       alf.NoRetransmit,
+			HoldTime:     cfg.PlayoutDelay + 100*time.Millisecond,
+			NackInterval: 20 * time.Millisecond,
+		}
+		snd, err := alf.NewSender(s, ab.Send, acfg)
+		if err != nil {
+			return p, err
+		}
+		rcv, err := alf.NewReceiver(s, ba.Send, acfg)
+		if err != nil {
+			return p, err
+		}
+		a.SetHandler(func(pk *netsim.Packet) { snd.HandleControl(pk.Payload) })
+		b.SetHandler(func(pk *netsim.Packet) { rcv.HandlePacket(pk.Payload) })
+
+		src := video.NewSource(s, snd, vcfg)
+		sink := video.NewSink(s, 0, cfg.PlayoutDelay, vcfg)
+		rcv.OnADU = sink.HandleADU
+		rcv.OnLost = sink.HandleLoss
+		src.Start(cfg.Frames)
+		if err := s.Run(); err != nil {
+			return p, err
+		}
+		sink.FlushAll(uint32(cfg.Frames))
+		p.ALFOnTimeFrac = float64(sink.Stats.FramesComplete) / float64(cfg.Frames)
+		p.ALFPartialFrac = float64(sink.Stats.FramesPartial) / float64(cfg.Frames)
+		p.ALFResends = snd.Stats.ResentADUs
+	}
+
+	// --- Reliable ordered transport carrying the same frames. ---
+	{
+		s := sim.NewScheduler()
+		n := netsim.New(s, cfg.Seed+1000)
+		a := n.NewNode("a")
+		b := n.NewNode("b")
+		ab, ba := n.NewDuplex(a, b, linkCfg)
+		oc := otp.Config{MSS: 1400, FastRetransmit: true, SendBuffer: 1 << 24}
+		snd := otp.New(s, ab.Send, oc)
+		rcv := otp.New(s, ba.Send, oc)
+		a.SetHandler(func(pk *netsim.Packet) { snd.HandleSegment(pk.Payload) })
+		b.SetHandler(func(pk *netsim.Packet) { rcv.HandleSegment(pk.Payload) })
+
+		sink := video.NewSink(s, 0, cfg.PlayoutDelay, vcfg)
+		// Slices arrive as length-prefixed records over the stream; a
+		// tiny record layer carves them and hands them to the sink as
+		// (frame, slice) ADUs.
+		var rbuf []byte
+		rcv.OnData = func(d []byte) {
+			rbuf = append(rbuf, d...)
+			for len(rbuf) >= 12 {
+				n := int(uint32(rbuf[0])<<24 | uint32(rbuf[1])<<16 | uint32(rbuf[2])<<8 | uint32(rbuf[3]))
+				if len(rbuf) < 12+n {
+					return
+				}
+				tag := uint64(rbuf[4])<<56 | uint64(rbuf[5])<<48 | uint64(rbuf[6])<<40 | uint64(rbuf[7])<<32 |
+					uint64(rbuf[8])<<24 | uint64(rbuf[9])<<16 | uint64(rbuf[10])<<8 | uint64(rbuf[11])
+				sink.HandleADU(alf.ADU{Tag: tag, Data: rbuf[12 : 12+n]})
+				rbuf = rbuf[12+n:]
+			}
+		}
+
+		// Emit frames on the same schedule as the ALF source.
+		period := vcfg.Period()
+		var emit func(f int)
+		emit = func(f int) {
+			if f >= cfg.Frames {
+				return
+			}
+			slice := make([]byte, cfg.SliceBytes)
+			for sl := 0; sl < cfg.Slices; sl++ {
+				rec := make([]byte, 12+len(slice))
+				rec[0] = byte(len(slice) >> 24)
+				rec[1] = byte(len(slice) >> 16)
+				rec[2] = byte(len(slice) >> 8)
+				rec[3] = byte(len(slice))
+				tag := video.Tag(uint32(f), uint16(sl))
+				for i := 0; i < 8; i++ {
+					rec[4+i] = byte(tag >> uint(56-8*i))
+				}
+				copy(rec[12:], slice)
+				snd.Send(rec)
+			}
+			s.After(period, func() { emit(f + 1) })
+		}
+		emit(0)
+		if err := s.Run(); err != nil {
+			return p, err
+		}
+		sink.FlushAll(uint32(cfg.Frames))
+		total := sink.Stats.FramesComplete + sink.Stats.FramesPartial + sink.Stats.FramesEmpty
+		if total != int64(cfg.Frames) {
+			return p, fmt.Errorf("f7: otp sink accounted %d of %d frames", total, cfg.Frames)
+		}
+		p.OTPOnTimeFrac = float64(sink.Stats.FramesComplete) / float64(cfg.Frames)
+		p.OTPRetransmits = snd.Stats.Retransmits
+	}
+	return p, nil
+}
+
+// RunF7Sweep runs the loss sweep of the F7 figure.
+func RunF7Sweep(cfg F7Config, lossPcts []float64) ([]F7Point, error) {
+	pts := make([]F7Point, 0, len(lossPcts))
+	for _, l := range lossPcts {
+		pt, err := RunF7(cfg, l)
+		if err != nil {
+			return pts, err
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// F8Point compares the three §5 recovery policies on the same lossy
+// bulk workload.
+type F8Point struct {
+	Policy        alf.Policy
+	DeliveredFrac float64
+	GoodputMbps   float64
+	MaxBufferedKB float64 // sender retention high-water mark
+	Recomputes    int64
+	Resends       int64
+	ReportedLost  int64
+}
+
+// F8Config parameterizes the policy comparison.
+type F8Config struct {
+	Bytes    int     // default 2 MB
+	ADUBytes int     // default 8 KB
+	LossPct  float64 // default 3
+	LinkBps  float64 // default 50e6
+	Seed     int64
+}
+
+func (c *F8Config) fill() {
+	if c.Bytes == 0 {
+		c.Bytes = 2 << 20
+	}
+	if c.ADUBytes == 0 {
+		c.ADUBytes = 8 << 10
+	}
+	if c.LossPct == 0 {
+		c.LossPct = 3
+	}
+	if c.LinkBps == 0 {
+		c.LinkBps = 50e6
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// RunF8 measures one policy.
+func RunF8(cfg F8Config, policy alf.Policy) (F8Point, error) {
+	cfg.fill()
+	p := F8Point{Policy: policy}
+
+	s := sim.NewScheduler()
+	n := netsim.New(s, cfg.Seed)
+	a := n.NewNode("a")
+	b := n.NewNode("b")
+	ab, ba := n.NewDuplex(a, b, netsim.LinkConfig{
+		RateBps: cfg.LinkBps, Delay: 5 * time.Millisecond, LossProb: cfg.LossPct / 100,
+	})
+	acfg := alf.Config{
+		Policy:       policy,
+		NackDelay:    10 * time.Millisecond,
+		NackInterval: 10 * time.Millisecond,
+		MaxNacks:     100,
+		HoldTime:     2 * time.Second,
+		RateBps:      cfg.LinkBps,
+	}
+	snd, err := alf.NewSender(s, ab.Send, acfg)
+	if err != nil {
+		return p, err
+	}
+	rcv, err := alf.NewReceiver(s, ba.Send, acfg)
+	if err != nil {
+		return p, err
+	}
+	a.SetHandler(func(pk *netsim.Packet) { snd.HandleControl(pk.Payload) })
+	b.SetHandler(func(pk *netsim.Packet) { rcv.HandlePacket(pk.Payload) })
+
+	// The recompute application: regenerates any chunk from its name.
+	mkChunk := func(name uint64, nb int) []byte {
+		chunk := make([]byte, nb)
+		for i := range chunk {
+			chunk[i] = byte(uint64(i) * (name + 1))
+		}
+		return chunk
+	}
+	chunkLen := func(name uint64) int {
+		off := int(name) * cfg.ADUBytes
+		nb := cfg.ADUBytes
+		if off+nb > cfg.Bytes {
+			nb = cfg.Bytes - off
+		}
+		return nb
+	}
+	snd.OnResend = func(name uint64) (uint64, xcode.SyntaxID, []byte, bool) {
+		return name, xcode.SyntaxRaw, mkChunk(name, chunkLen(name)), true
+	}
+
+	var delivered int64
+	var done sim.Time
+	total := (cfg.Bytes + cfg.ADUBytes - 1) / cfg.ADUBytes
+	rcv.OnADU = func(adu alf.ADU) {
+		delivered += int64(len(adu.Data))
+		done = s.Now()
+	}
+	rcv.OnLost = func(name uint64) { p.ReportedLost++ }
+
+	maxBuf := 0
+	for i := 0; i*cfg.ADUBytes < cfg.Bytes; i++ {
+		name := uint64(i)
+		if _, err := snd.Send(name, xcode.SyntaxRaw, mkChunk(name, chunkLen(name))); err != nil {
+			return p, err
+		}
+		if b := snd.BufferedBytes(); b > maxBuf {
+			maxBuf = b
+		}
+	}
+	// Track the retention high-water mark while recovery runs.
+	var probe *sim.Timer
+	probe = s.NewTimer(func() {
+		if b := snd.BufferedBytes(); b > maxBuf {
+			maxBuf = b
+		}
+		if rcv.Settled() < uint64(total) {
+			probe.Reset(5 * time.Millisecond)
+		}
+	})
+	probe.Reset(5 * time.Millisecond)
+	if err := s.Run(); err != nil {
+		return p, err
+	}
+
+	p.DeliveredFrac = float64(delivered) / float64(cfg.Bytes)
+	if done > 0 {
+		p.GoodputMbps = stats.Mbps(delivered, time.Duration(done))
+	}
+	p.MaxBufferedKB = float64(maxBuf) / 1024
+	p.Resends = snd.Stats.ResentADUs
+	p.Recomputes = snd.Stats.RecomputeADUs
+	return p, nil
+}
+
+// RunF8All measures all three policies.
+func RunF8All(cfg F8Config) ([]F8Point, error) {
+	var pts []F8Point
+	for _, pol := range []alf.Policy{alf.SenderBuffered, alf.AppRecompute, alf.NoRetransmit} {
+		pt, err := RunF8(cfg, pol)
+		if err != nil {
+			return pts, err
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// A2Point compares in-band (immediate) versus out-of-band (delayed,
+// batched) acknowledgement control in the ordered transport.
+type A2Point struct {
+	AckDelay     sim.Duration
+	AcksSent     int64
+	AcksPerSeg   float64
+	TransferTime sim.Duration
+	GoodputMbps  float64
+}
+
+// RunA2 measures one ack-delay setting for a bytes-sized transfer.
+func RunA2(bytes int, ackDelay sim.Duration, seed int64) (A2Point, error) {
+	p := A2Point{AckDelay: ackDelay}
+	s := sim.NewScheduler()
+	n := netsim.New(s, seed)
+	a := n.NewNode("a")
+	b := n.NewNode("b")
+	ab, ba := n.NewDuplex(a, b, netsim.LinkConfig{RateBps: 100e6, Delay: 2 * time.Millisecond})
+	oc := otp.Config{AckDelay: ackDelay, SendBuffer: bytes + (1 << 20), SendWindow: 1 << 20, RecvWindow: 1 << 20}
+	snd := otp.New(s, ab.Send, oc)
+	rcv := otp.New(s, ba.Send, oc)
+	a.SetHandler(func(pk *netsim.Packet) { snd.HandleSegment(pk.Payload) })
+	b.SetHandler(func(pk *netsim.Packet) { rcv.HandleSegment(pk.Payload) })
+
+	var done sim.Time
+	rcv.OnData = func(d []byte) {
+		if rcv.Delivered() == int64(bytes) {
+			done = s.Now()
+		}
+	}
+	if err := snd.Send(make([]byte, bytes)); err != nil {
+		return p, err
+	}
+	if err := s.Run(); err != nil {
+		return p, err
+	}
+	if rcv.Delivered() != int64(bytes) {
+		return p, fmt.Errorf("a2: delivered %d of %d", rcv.Delivered(), bytes)
+	}
+	p.AcksSent = rcv.Stats.AcksSent
+	if rcv.Stats.SegmentsReceived > 0 {
+		p.AcksPerSeg = float64(p.AcksSent) / float64(rcv.Stats.SegmentsReceived)
+	}
+	p.TransferTime = sim.Duration(done)
+	p.GoodputMbps = stats.Mbps(int64(bytes), p.TransferTime)
+	return p, nil
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	alf "repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/otp"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/xcode"
+)
+
+// appModel is the presentation-limited receiving application of §5: it
+// converts data at a fixed rate of virtual time and can only work on
+// data that its transport has delivered. Its idle time is the paper's
+// stalled pipeline.
+type appModel struct {
+	rateBps  float64  // conversion rate, bytes of virtual work per second
+	busyTill sim.Time // when the app finishes everything handed to it
+	busy     sim.Duration
+	consumed int64
+}
+
+// feed hands the app bytes at virtual time now and returns when the app
+// will finish converting them.
+func (a *appModel) feed(now sim.Time, bytes int) sim.Time {
+	start := a.busyTill
+	if now > start {
+		start = now
+	}
+	work := sim.Duration(float64(bytes) / a.rateBps * 1e9)
+	a.busyTill = start.Add(work)
+	a.busy += work
+	a.consumed += int64(bytes)
+	return a.busyTill
+}
+
+// F2Point is one loss-rate sample of the pipeline experiment: the same
+// presentation-limited application fed by OTP (in-order delivery) and
+// by ALF (out-of-order ADUs).
+type F2Point struct {
+	LossPct float64
+
+	OTPGoodputMbps float64 // app-level conversion goodput
+	ALFGoodputMbps float64
+	OTPIdleFrac    float64 // app idle fraction before completion
+	ALFIdleFrac    float64
+	OTPDone        sim.Duration // completion time (virtual)
+	ALFDone        sim.Duration
+	ALFLost        int64 // should be zero (recovery enabled)
+}
+
+// F2Config parameterizes the pipeline experiment.
+type F2Config struct {
+	Bytes   int     // total transfer (default 2 MB)
+	ADUSize int     // ALF ADU size (default 8 KB)
+	LinkBps float64 // network rate (default 80e6)
+	AppBps  float64 // app conversion rate in BYTES/s (default 8e6, i.e. 64 Mb/s)
+	DelayMs float64 // one-way delay (default 5)
+	Seed    int64
+}
+
+func (c *F2Config) fill() {
+	if c.Bytes == 0 {
+		c.Bytes = 2 << 20
+	}
+	if c.ADUSize == 0 {
+		c.ADUSize = 8 << 10
+	}
+	if c.LinkBps == 0 {
+		c.LinkBps = 80e6
+	}
+	if c.AppBps == 0 {
+		c.AppBps = 8e6
+	}
+	if c.DelayMs == 0 {
+		c.DelayMs = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+func (c F2Config) delay() sim.Duration {
+	return sim.Duration(c.DelayMs * float64(time.Millisecond))
+}
+
+// RunF2 measures one loss-rate point.
+func RunF2(cfg F2Config, lossPct float64) (F2Point, error) {
+	cfg.fill()
+	p := F2Point{LossPct: lossPct}
+	loss := lossPct / 100
+
+	// --- OTP side: ordered byte stream, app fed in order. ---
+	{
+		s := sim.NewScheduler()
+		n := netsim.New(s, cfg.Seed)
+		a := n.NewNode("a")
+		b := n.NewNode("b")
+		ab, ba := n.NewDuplex(a, b, netsim.LinkConfig{
+			RateBps: cfg.LinkBps, Delay: cfg.delay(), LossProb: loss,
+		})
+		oc := otp.Config{MSS: 1024, SendWindow: 1 << 20, RecvWindow: 1 << 20,
+			SendBuffer: cfg.Bytes + (1 << 20), FastRetransmit: true}
+		snd := otp.New(s, ab.Send, oc)
+		rcv := otp.New(s, ba.Send, oc)
+		a.SetHandler(func(pk *netsim.Packet) { snd.HandleSegment(pk.Payload) })
+		b.SetHandler(func(pk *netsim.Packet) { rcv.HandleSegment(pk.Payload) })
+
+		app := &appModel{rateBps: cfg.AppBps}
+		var done sim.Time
+		rcv.OnData = func(d []byte) {
+			finish := app.feed(s.Now(), len(d))
+			if app.consumed == int64(cfg.Bytes) {
+				done = finish
+			}
+		}
+		if err := snd.Send(make([]byte, cfg.Bytes)); err != nil {
+			return p, fmt.Errorf("otp send: %w", err)
+		}
+		if err := s.Run(); err != nil {
+			return p, err
+		}
+		if app.consumed != int64(cfg.Bytes) {
+			return p, fmt.Errorf("otp delivered %d of %d bytes at loss %.1f%%",
+				app.consumed, cfg.Bytes, lossPct)
+		}
+		p.OTPDone = sim.Duration(done)
+		p.OTPGoodputMbps = stats.Mbps(int64(cfg.Bytes), p.OTPDone)
+		p.OTPIdleFrac = 1 - app.busy.Seconds()/p.OTPDone.Seconds()
+	}
+
+	// --- ALF side: out-of-order complete ADUs. ---
+	{
+		s := sim.NewScheduler()
+		n := netsim.New(s, cfg.Seed+1000)
+		a := n.NewNode("a")
+		b := n.NewNode("b")
+		ab, ba := n.NewDuplex(a, b, netsim.LinkConfig{
+			RateBps: cfg.LinkBps, Delay: cfg.delay(), LossProb: loss,
+		})
+		acfg := alf.Config{
+			MTU:          1024 + alf.HeaderSize,
+			NackDelay:    5 * time.Millisecond,
+			NackInterval: 5 * time.Millisecond,
+			MaxNacks:     100,
+			HoldTime:     30 * time.Second,
+			RateBps:      cfg.LinkBps, // pace at the link rate
+		}
+		snd, err := alf.NewSender(s, ab.Send, acfg)
+		if err != nil {
+			return p, err
+		}
+		rcv, err := alf.NewReceiver(s, ba.Send, acfg)
+		if err != nil {
+			return p, err
+		}
+		a.SetHandler(func(pk *netsim.Packet) { snd.HandleControl(pk.Payload) })
+		b.SetHandler(func(pk *netsim.Packet) { rcv.HandlePacket(pk.Payload) })
+
+		app := &appModel{rateBps: cfg.AppBps}
+		var done sim.Time
+		rcv.OnADU = func(adu alf.ADU) {
+			finish := app.feed(s.Now(), len(adu.Data))
+			if app.consumed == int64(cfg.Bytes) {
+				done = finish
+			}
+		}
+		rcv.OnLost = func(name uint64) { p.ALFLost++ }
+
+		chunk := make([]byte, cfg.ADUSize)
+		for off := 0; off < cfg.Bytes; off += cfg.ADUSize {
+			n := cfg.ADUSize
+			if off+n > cfg.Bytes {
+				n = cfg.Bytes - off
+			}
+			if _, err := snd.Send(uint64(off), xcode.SyntaxRaw, chunk[:n]); err != nil {
+				return p, fmt.Errorf("alf send: %w", err)
+			}
+		}
+		if err := s.Run(); err != nil {
+			return p, err
+		}
+		if app.consumed != int64(cfg.Bytes) {
+			return p, fmt.Errorf("alf converted %d of %d bytes at loss %.1f%% (lost %d ADUs)",
+				app.consumed, cfg.Bytes, lossPct, p.ALFLost)
+		}
+		p.ALFDone = sim.Duration(done)
+		p.ALFGoodputMbps = stats.Mbps(int64(cfg.Bytes), p.ALFDone)
+		p.ALFIdleFrac = 1 - app.busy.Seconds()/p.ALFDone.Seconds()
+	}
+	return p, nil
+}
+
+// RunF2Sweep runs the loss sweep the F2 figure plots.
+func RunF2Sweep(cfg F2Config, lossPcts []float64) ([]F2Point, error) {
+	pts := make([]F2Point, 0, len(lossPcts))
+	for _, l := range lossPcts {
+		pt, err := RunF2(cfg, l)
+		if err != nil {
+			return pts, err
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}

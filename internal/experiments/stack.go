@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	alf "repro/internal/core"
+	"repro/internal/ilp"
+	"repro/internal/layered"
+	"repro/internal/netsim"
+	"repro/internal/otp"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/xcode"
+)
+
+// StackReport reproduces the paper's §4 TCP+ISODE experiment (E4): the
+// complete layered stack moving a long OCTET STRING (baseline, no real
+// conversion) versus an equal-length array of 32-bit integers
+// (conversion-intensive), measured in host CPU time.
+type StackReport struct {
+	Codec      string
+	ValueBytes int
+	Values     int
+
+	OctetMbps float64 // baseline: OCTET STRING payload
+	IntMbps   float64 // conversion-intensive: []int32 payload
+	Slowdown  float64 // OctetMbps / IntMbps (the paper's ~30x)
+
+	// PresentationShare estimates the fraction of the
+	// conversion-intensive stack's processing attributable to the
+	// presentation layer (the paper's ~97%), from the wall-clock
+	// difference against the baseline stack.
+	PresentationShare float64
+}
+
+// stackRig is a layered stack over an impairment-free loopback used for
+// CPU-cost measurement (virtual network time is free; every measured
+// nanosecond is protocol processing).
+type stackRig struct {
+	sched *sim.Scheduler
+	snd   *layered.Stack
+	rcv   *layered.Stack
+	got   int
+}
+
+func newStackRig(codec xcode.Codec, seed int64) *stackRig {
+	s := sim.NewScheduler()
+	n := netsim.New(s, seed)
+	a := n.NewNode("a")
+	b := n.NewNode("b")
+	ab, ba := n.NewDuplex(a, b, netsim.LinkConfig{})
+	ca := otp.New(s, ab.Send, otp.Config{MSS: 4096, SendWindow: 1 << 22, RecvWindow: 1 << 22, SendBuffer: 1 << 26})
+	cb := otp.New(s, ba.Send, otp.Config{MSS: 4096, SendWindow: 1 << 22, RecvWindow: 1 << 22, SendBuffer: 1 << 26})
+	a.SetHandler(func(p *netsim.Packet) { ca.HandleSegment(p.Payload) })
+	b.SetHandler(func(p *netsim.Packet) { cb.HandleSegment(p.Payload) })
+	r := &stackRig{sched: s}
+	r.snd = layered.New(ca, codec, 0)
+	r.rcv = layered.New(cb, codec, 0)
+	r.rcv.OnValue = func(v xcode.Value) { r.got++ }
+	return r
+}
+
+// transfer pushes values through the stack and runs the event loop to
+// completion, returning an error if any value was lost.
+func (r *stackRig) transfer(vals []xcode.Value) error {
+	start := r.got
+	for i := range vals {
+		if err := r.snd.SendValue(vals[i]); err != nil {
+			return err
+		}
+	}
+	r.sched.Run()
+	if r.got-start != len(vals) {
+		return fmt.Errorf("stack delivered %d of %d values", r.got-start, len(vals))
+	}
+	return nil
+}
+
+// ILPStackReport is E6: the same workloads as E4 carried by the ALF
+// transport with ILP-fused processing at both ends — the paper's
+// proposed architecture measured against the layered status quo.
+//
+// Receive-side data passes for the integer workload:
+//
+//	layered: transport checksum, record copy, record carve,
+//	         presentation decode, result allocation  (4-5 passes)
+//	ALF/ILP: fragment placement fused with checksum (stage one),
+//	         BER decode fused with the scatter into the caller's
+//	         array (stage two)                        (2 passes)
+type ILPStackReport struct {
+	ValueBytes int
+	Values     int
+
+	OctetMbps float64 // raw-syntax ADUs (no conversion)
+	IntMbps   float64 // BER int arrays, fused encode/decode
+}
+
+// RunStackILP measures E6 on the same loopback arrangement as RunStack.
+func RunStackILP(valueBytes, values int, minTime time.Duration) (ILPStackReport, error) {
+	rep := ILPStackReport{ValueBytes: valueBytes, Values: values}
+
+	octets := make([]byte, valueBytes)
+	rand.New(rand.NewSource(7)).Read(octets)
+	ints := make([]int32, valueBytes/4)
+	rnd := rand.New(rand.NewSource(8))
+	for i := range ints {
+		ints[i] = int32(rnd.Uint32())
+	}
+	volume := int64(valueBytes) * int64(values)
+
+	// Preallocated buffers: the steady-state data path allocates only
+	// inside the transport (fragment packets), as a real system would
+	// pool.
+	encBuf := make([]byte, 0, valueBytes*2)
+	out := make([]int32, len(ints))
+
+	run := func(useInts bool) (float64, error) {
+		s := sim.NewScheduler()
+		n := netsim.New(s, 13)
+		a := n.NewNode("a")
+		b := n.NewNode("b")
+		ab, ba := n.NewDuplex(a, b, netsim.LinkConfig{})
+		acfg := alf.Config{MTU: valueBytes*2 + alf.HeaderSize + 8}
+		snd, err := alf.NewSender(s, ab.Send, acfg)
+		if err != nil {
+			return 0, err
+		}
+		rcv, err := alf.NewReceiver(s, ba.Send, acfg)
+		if err != nil {
+			return 0, err
+		}
+		a.SetHandler(func(p *netsim.Packet) { snd.HandleControl(p.Payload) })
+		b.SetHandler(func(p *netsim.Packet) { rcv.HandlePacket(p.Payload) })
+
+		got := 0
+		var stageTwoErr error
+		rcv.OnADU = func(adu alf.ADU) {
+			// Stage two: the application's fused presentation pass.
+			if adu.Syntax == xcode.SyntaxBER {
+				if _, _, err := ilp.DecodeBERInt32sInto(adu.Data, out); err != nil {
+					stageTwoErr = err
+					return
+				}
+			}
+			got++
+		}
+
+		transfer := func() error {
+			start := got
+			for i := 0; i < values; i++ {
+				var err error
+				if useInts {
+					// Sender-side fused conversion + checksum; ALF's own
+					// fused copy+checksum carries it to the wire.
+					encBuf, _ = ilp.EncodeBERInt32sChecksum(encBuf[:0], ints)
+					_, err = snd.Send(uint64(i), xcode.SyntaxBER, encBuf)
+				} else {
+					_, err = snd.Send(uint64(i), xcode.SyntaxRaw, octets)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			if err := s.Run(); err != nil {
+				return err
+			}
+			if stageTwoErr != nil {
+				return stageTwoErr
+			}
+			if got-start != values {
+				return fmt.Errorf("ilp stack delivered %d of %d", got-start, values)
+			}
+			return nil
+		}
+		if err := transfer(); err != nil { // warm up
+			return 0, err
+		}
+		var elapsed time.Duration
+		var moved int64
+		for elapsed < minTime {
+			t0 := time.Now()
+			if err := transfer(); err != nil {
+				return 0, err
+			}
+			elapsed += time.Since(t0)
+			moved += volume
+		}
+		return stats.Mbps(moved, elapsed), nil
+	}
+
+	var err error
+	if rep.OctetMbps, err = run(false); err != nil {
+		return rep, err
+	}
+	if rep.IntMbps, err = run(true); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// RunStack measures E4 with the given codec: values of valueBytes
+// bytes, count values per timing pass, repeated until minTime.
+func RunStack(codec xcode.Codec, valueBytes, values int, minTime time.Duration) (StackReport, error) {
+	rep := StackReport{Codec: codec.Name(), ValueBytes: valueBytes, Values: values}
+
+	octets := make([]byte, valueBytes)
+	rand.New(rand.NewSource(5)).Read(octets)
+	ints := make([]int32, valueBytes/4)
+	rnd := rand.New(rand.NewSource(6))
+	for i := range ints {
+		ints[i] = int32(rnd.Uint32())
+	}
+
+	octetVals := make([]xcode.Value, values)
+	intVals := make([]xcode.Value, values)
+	for i := range octetVals {
+		octetVals[i] = xcode.BytesValue(octets)
+		intVals[i] = xcode.Int32sValue(ints)
+	}
+	volume := int64(valueBytes) * int64(values)
+
+	var err error
+	timeCase := func(rig *stackRig, vals []xcode.Value) float64 {
+		// Warm-up pass.
+		if e := rig.transfer(vals); e != nil && err == nil {
+			err = e
+		}
+		var elapsed time.Duration
+		var moved int64
+		for elapsed < minTime {
+			start := time.Now()
+			if e := rig.transfer(vals); e != nil && err == nil {
+				err = e
+			}
+			elapsed += time.Since(start)
+			moved += volume
+		}
+		return stats.Mbps(moved, elapsed)
+	}
+
+	rep.OctetMbps = timeCase(newStackRig(codec, 11), octetVals)
+	rep.IntMbps = timeCase(newStackRig(codec, 12), intVals)
+	if rep.IntMbps > 0 {
+		rep.Slowdown = rep.OctetMbps / rep.IntMbps
+	}
+	// Per-byte processing time difference attributes the extra cost to
+	// presentation conversion: share = (tInt - tOctet) / tInt.
+	if rep.OctetMbps > 0 && rep.IntMbps > 0 {
+		tOctet := 1 / rep.OctetMbps
+		tInt := 1 / rep.IntMbps
+		rep.PresentationShare = (tInt - tOctet) / tInt
+	}
+	return rep, err
+}

@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/atm"
+	alf "repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/xcode"
+)
+
+// F3Point is one ADU-size sample of the §5 size-bounding experiment:
+// with a fixed bit-error rate and whole-ADU loss semantics, the ADU
+// size has an interior optimum — too small wastes headers, too large
+// makes every ADU fail.
+type F3Point struct {
+	ADUBytes int
+	// PIntactPredicted is (1-BER)^(8*wire bytes per ADU), the paper's
+	// "probability of any ADU having at least one uncorrected error
+	// would approach one".
+	PIntactPredicted float64
+	// PIntactMeasured is the fraction of first transmissions that
+	// arrived undamaged.
+	PIntactMeasured float64
+	// GoodputMbps is application bytes over completion time, recovery
+	// included.
+	GoodputMbps float64
+	// Overhead is wire bytes sent divided by application bytes.
+	Overhead float64
+	Resends  int64
+}
+
+// F3Config parameterizes the sweep.
+type F3Config struct {
+	Bytes   int     // total transfer (default 1 MB)
+	BER     float64 // bit error rate (default 2e-6)
+	LinkBps float64 // default 100e6
+	Seed    int64
+}
+
+func (c *F3Config) fill() {
+	if c.Bytes == 0 {
+		c.Bytes = 1 << 20
+	}
+	if c.BER == 0 {
+		c.BER = 2e-6
+	}
+	if c.LinkBps == 0 {
+		c.LinkBps = 100e6
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// RunF3 measures one ADU size.
+func RunF3(cfg F3Config, aduBytes int) (F3Point, error) {
+	cfg.fill()
+	p := F3Point{ADUBytes: aduBytes}
+
+	s := sim.NewScheduler()
+	n := netsim.New(s, cfg.Seed)
+	a := n.NewNode("a")
+	b := n.NewNode("b")
+	ab, ba := n.NewDuplex(a, b, netsim.LinkConfig{
+		RateBps: cfg.LinkBps, Delay: time.Millisecond, BitErrorRate: cfg.BER,
+	})
+	acfg := alf.Config{
+		NackDelay:    5 * time.Millisecond,
+		NackInterval: 5 * time.Millisecond,
+		MaxNacks:     1000,
+		HoldTime:     300 * time.Second,
+		RateBps:      cfg.LinkBps,
+	}
+	snd, err := alf.NewSender(s, ab.Send, acfg)
+	if err != nil {
+		return p, err
+	}
+	rcv, err := alf.NewReceiver(s, ba.Send, acfg)
+	if err != nil {
+		return p, err
+	}
+	a.SetHandler(func(pk *netsim.Packet) { snd.HandleControl(pk.Payload) })
+	b.SetHandler(func(pk *netsim.Packet) { rcv.HandlePacket(pk.Payload) })
+
+	var done sim.Time
+	received := 0
+	total := (cfg.Bytes + aduBytes - 1) / aduBytes
+	rcv.OnADU = func(adu alf.ADU) {
+		received++
+		if received == total {
+			done = s.Now()
+		}
+	}
+	chunk := make([]byte, aduBytes)
+	sent := 0
+	for off := 0; off < cfg.Bytes; off += aduBytes {
+		nb := aduBytes
+		if off+nb > cfg.Bytes {
+			nb = cfg.Bytes - off
+		}
+		if _, err := snd.Send(uint64(off), xcode.SyntaxRaw, chunk[:nb]); err != nil {
+			return p, err
+		}
+		sent++
+	}
+	if err := s.Run(); err != nil {
+		return p, err
+	}
+	if received != total {
+		return p, fmt.Errorf("f3: delivered %d of %d ADUs (adu=%d)", received, total, aduBytes)
+	}
+
+	// Wire bytes per ADU: payload + one header per fragment.
+	frag := acfg.MTU
+	if frag == 0 {
+		frag = 1024 + alf.HeaderSize
+	}
+	fragPayload := (frag - alf.HeaderSize) &^ 7
+	frags := (aduBytes + fragPayload - 1) / fragPayload
+	wirePerADU := float64(aduBytes + frags*alf.HeaderSize)
+	p.PIntactPredicted = math.Pow(1-cfg.BER, 8*wirePerADU)
+
+	firstTx := int64(snd.Stats.ADUs)
+	damaged := rcv.Stats.ChecksumFails + rcv.Stats.HeaderDrops
+	// Damaged counts include retransmissions; approximate the intact
+	// probability over all transmissions.
+	allTx := firstTx + snd.Stats.ResentADUs
+	if allTx > 0 {
+		p.PIntactMeasured = 1 - float64(damaged)/float64(allTx)
+	}
+	p.Resends = snd.Stats.ResentADUs
+	p.GoodputMbps = stats.Mbps(int64(cfg.Bytes), time.Duration(done))
+	wireSent := ab.Stats.SentBytes
+	p.Overhead = float64(wireSent) / float64(cfg.Bytes)
+	return p, nil
+}
+
+// RunF3Sweep runs the ADU-size sweep of the F3 figure.
+func RunF3Sweep(cfg F3Config, sizes []int) ([]F3Point, error) {
+	pts := make([]F3Point, 0, len(sizes))
+	for _, sz := range sizes {
+		pt, err := RunF3(cfg, sz)
+		if err != nil {
+			return pts, err
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// F4Point is one cell-loss sample of the ATM experiment: ADUs ride an
+// AAL3/4-style adaptation layer over 53-byte cells; cell loss surfaces
+// as whole-ADU loss detected by the adaptation layer's sequence
+// numbers, and ALF recovery repairs it.
+type F4Point struct {
+	CellLossPct float64
+	// PADUPredicted is (1-p)^cells: the chance all of an ADU's cells
+	// survive.
+	PADUPredicted float64
+	// PADUMeasured is the fraction of ADU transmissions that
+	// reassembled.
+	PADUMeasured float64
+	// GoodputMbps is app bytes over completion (recovery included).
+	GoodputMbps float64
+	// CellsPerADU is the segmentation factor.
+	CellsPerADU int
+	Resends     int64
+}
+
+// F4Config parameterizes the ATM experiment.
+type F4Config struct {
+	Bytes    int // total transfer (default 512 KB)
+	ADUBytes int // default 4096
+	LinkBps  float64
+	Seed     int64
+}
+
+func (c *F4Config) fill() {
+	if c.Bytes == 0 {
+		c.Bytes = 512 << 10
+	}
+	if c.ADUBytes == 0 {
+		c.ADUBytes = 4096
+	}
+	if c.LinkBps == 0 {
+		c.LinkBps = 150e6 // STM-1-ish
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// RunF4 measures one cell-loss point. The ALF fragment stream is
+// segmented into cells below the ALF layer and reassembled above the
+// link, so the ALF fragment is the AAL "message".
+func RunF4(cfg F4Config, cellLossPct float64) (F4Point, error) {
+	cfg.fill()
+	p := F4Point{CellLossPct: cellLossPct}
+
+	s := sim.NewScheduler()
+	n := netsim.New(s, cfg.Seed)
+	a := n.NewNode("a")
+	b := n.NewNode("b")
+	// Forward path carries cells; reverse path carries ALF control.
+	ab := n.NewLink(a, b, netsim.LinkConfig{
+		RateBps: cfg.LinkBps, Delay: time.Millisecond,
+		MTU: atm.CellSize, LossProb: cellLossPct / 100,
+	})
+	ba := n.NewLink(b, a, netsim.LinkConfig{Delay: time.Millisecond})
+
+	acfg := alf.Config{
+		// One ALF fragment per ADU here: the adaptation layer does the
+		// segmentation (MTU covers the ADU whole).
+		MTU:          cfg.ADUBytes + alf.HeaderSize + 8,
+		NackDelay:    5 * time.Millisecond,
+		NackInterval: 5 * time.Millisecond,
+		MaxNacks:     1000,
+		HoldTime:     300 * time.Second,
+		RateBps:      cfg.LinkBps,
+	}
+	seg := atm.NewSegmenter(1)
+	snd, err := alf.NewSender(s, func(pkt []byte) error {
+		seg.Segment(pkt, func(cell []byte) { ab.Send(cell) })
+		return nil
+	}, acfg)
+	if err != nil {
+		return p, err
+	}
+	rcv, err := alf.NewReceiver(s, ba.Send, acfg)
+	if err != nil {
+		return p, err
+	}
+	var aduArrivals int64 // AAL messages that were ALF DATA fragments
+	reasm := atm.NewReassembler(1, func(mid uint16, msg []byte) {
+		if alf.PacketType(msg) == 1 {
+			aduArrivals++
+		}
+		rcv.HandlePacket(msg)
+	})
+	a.SetHandler(func(pk *netsim.Packet) { snd.HandleControl(pk.Payload) })
+	b.SetHandler(func(pk *netsim.Packet) { reasm.Cell(pk.Payload) })
+
+	total := (cfg.Bytes + cfg.ADUBytes - 1) / cfg.ADUBytes
+	received := 0
+	var done sim.Time
+	rcv.OnADU = func(adu alf.ADU) {
+		received++
+		if received == total {
+			done = s.Now()
+		}
+	}
+	chunk := make([]byte, cfg.ADUBytes)
+	for off := 0; off < cfg.Bytes; off += cfg.ADUBytes {
+		nb := cfg.ADUBytes
+		if off+nb > cfg.Bytes {
+			nb = cfg.Bytes - off
+		}
+		if _, err := snd.Send(uint64(off), xcode.SyntaxRaw, chunk[:nb]); err != nil {
+			return p, err
+		}
+	}
+	if err := s.Run(); err != nil {
+		return p, err
+	}
+	if received != total {
+		return p, fmt.Errorf("f4: delivered %d of %d ADUs at %.1f%% cell loss",
+			received, total, cellLossPct)
+	}
+
+	p.CellsPerADU = atm.CellsFor(cfg.ADUBytes + alf.HeaderSize)
+	p.PADUPredicted = math.Pow(1-cellLossPct/100, float64(p.CellsPerADU))
+	allTx := snd.Stats.ADUs + snd.Stats.ResentADUs
+	if allTx > 0 {
+		p.PADUMeasured = float64(aduArrivals) / float64(allTx)
+	}
+	p.Resends = snd.Stats.ResentADUs
+	p.GoodputMbps = stats.Mbps(int64(cfg.Bytes), time.Duration(done))
+	return p, nil
+}
+
+// RunF4Sweep runs the cell-loss sweep of the F4 figure.
+func RunF4Sweep(cfg F4Config, lossPcts []float64) ([]F4Point, error) {
+	pts := make([]F4Point, 0, len(lossPcts))
+	for _, l := range lossPcts {
+		pt, err := RunF4(cfg, l)
+		if err != nil {
+			return pts, err
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}

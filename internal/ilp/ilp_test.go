@@ -1,0 +1,379 @@
+package ilp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/checksum"
+	"repro/internal/scramble"
+	"repro/internal/xcode"
+)
+
+func randBytes(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestWordCopy(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 31, 32, 33, 4096, 4097} {
+		src := randBytes(n, int64(n))
+		dst := make([]byte, n)
+		if got := WordCopy(dst, src); got != n {
+			t.Errorf("n=%d: copied %d", n, got)
+		}
+		if !bytes.Equal(dst, src) {
+			t.Errorf("n=%d: copy mismatch", n)
+		}
+	}
+}
+
+func TestWordCopyShortDst(t *testing.T) {
+	src := []byte{1, 2, 3, 4, 5}
+	dst := make([]byte, 3)
+	if got := WordCopy(dst, src); got != 3 {
+		t.Errorf("copied %d, want 3", got)
+	}
+	if !bytes.Equal(dst, src[:3]) {
+		t.Error("short copy mismatch")
+	}
+}
+
+func TestFusedCopyChecksumMatchesSeparate(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 8, 15, 16, 100, 4096, 4001} {
+		src := randBytes(n, int64(n)+7)
+		d1 := make([]byte, n)
+		d2 := make([]byte, n)
+		sep := SeparateCopyThenChecksum(d1, src)
+		fus := FusedCopyChecksum(d2, src)
+		if sep != fus {
+			t.Errorf("n=%d: separate %#04x != fused %#04x", n, sep, fus)
+		}
+		if !bytes.Equal(d1, d2) || !bytes.Equal(d1, src) {
+			t.Errorf("n=%d: copies differ", n)
+		}
+		if want := checksum.Sum16(src); fus != want {
+			t.Errorf("n=%d: fused %#04x != Sum16 %#04x", n, fus, want)
+		}
+	}
+}
+
+func TestFusedCopyChecksumProperty(t *testing.T) {
+	f := func(src []byte) bool {
+		dst := make([]byte, len(src))
+		return FusedCopyChecksum(dst, src) == checksum.Sum16(src) && bytes.Equal(dst, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFusedCopyChecksumDecrypt(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 64, 1000, 4096} {
+		plain := randBytes(n, int64(n)+13)
+		cipher := append([]byte(nil), plain...)
+		scramble.Apply(42, cipher)
+
+		dst := make([]byte, n)
+		ck := FusedCopyChecksumDecrypt(dst, cipher, scramble.NewKeystream(42))
+		if !bytes.Equal(dst, plain) {
+			t.Errorf("n=%d: decrypt mismatch", n)
+		}
+		if want := checksum.Sum16(plain); ck != want {
+			t.Errorf("n=%d: checksum %#04x, want %#04x (over plaintext)", n, ck, want)
+		}
+	}
+}
+
+func TestEncodeBERInt32sMatchesXcode(t *testing.T) {
+	f := func(vs []int32) bool {
+		want, err := (xcode.BER{}).EncodeValue(nil, xcode.Int32sValue(vs))
+		if err != nil {
+			return false
+		}
+		got := EncodeBERInt32s(nil, vs)
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeBERInt32sChecksum(t *testing.T) {
+	f := func(vs []int32) bool {
+		enc, ck := EncodeBERInt32sChecksum(nil, vs)
+		plain := EncodeBERInt32s(nil, vs)
+		return bytes.Equal(enc, plain) && ck == checksum.Sum16(enc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeBERInt32sChecksumAppends(t *testing.T) {
+	prefix := []byte{0xEE}
+	enc, ck := EncodeBERInt32sChecksum(append([]byte(nil), prefix...), []int32{1, 2, 3})
+	if enc[0] != 0xEE {
+		t.Error("prefix clobbered")
+	}
+	if ck != checksum.Sum16(enc[1:]) {
+		t.Error("checksum covers wrong region")
+	}
+}
+
+func TestDecodeBERInt32sInto(t *testing.T) {
+	vs := []int32{0, 1, -1, 1 << 20, -(1 << 20), 127, -128}
+	enc := EncodeBERInt32s(nil, vs)
+	out := make([]int32, len(vs))
+	n, used, err := DecodeBERInt32sInto(enc, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(vs) || used != len(enc) {
+		t.Fatalf("n=%d used=%d", n, used)
+	}
+	for i := range vs {
+		if out[i] != vs[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], vs[i])
+		}
+	}
+}
+
+func TestDecodeBERInt32sIntoErrors(t *testing.T) {
+	enc := EncodeBERInt32s(nil, []int32{1, 2, 3})
+	// Output too small.
+	if _, _, err := DecodeBERInt32sInto(enc, make([]int32, 2)); err == nil {
+		t.Error("short output accepted")
+	}
+	// Wrong tag.
+	bad := append([]byte(nil), enc...)
+	bad[0] = 0x04
+	if _, _, err := DecodeBERInt32sInto(bad, make([]int32, 3)); err == nil {
+		t.Error("wrong tag accepted")
+	}
+	// Truncated.
+	if _, _, err := DecodeBERInt32sInto(enc[:len(enc)-1], make([]int32, 3)); err == nil {
+		t.Error("truncated accepted")
+	}
+}
+
+func TestVerifyDecodeBERInt32s(t *testing.T) {
+	f := func(vs []int32) bool {
+		enc := EncodeBERInt32s(nil, vs)
+		out := make([]int32, len(vs))
+		n, used, ck, err := VerifyDecodeBERInt32s(enc, out)
+		if err != nil || n != len(vs) || used != len(enc) {
+			return false
+		}
+		if ck != checksum.Sum16(enc) {
+			return false
+		}
+		for i := range vs {
+			if out[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFusedPathEqualsLayeredPath(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		for _, n := range []int{0, 1, 8, 63, 64, 1000, 4096} {
+			src := randBytes(n, int64(k*1000+n))
+			fd := make([]byte, n)
+			ld := make([]byte, n)
+			scratch := make([]byte, n)
+
+			fStages, fck := StandardStages(k, 77)
+			FusedPath(fd, src, fStages)
+
+			lStages, lck := StandardStages(k, 77)
+			LayeredPath(ld, scratch, src, lStages)
+
+			if !bytes.Equal(fd, ld) {
+				t.Fatalf("k=%d n=%d: fused and layered outputs differ", k, n)
+			}
+			if fck != nil && fck.Sum() != lck.Sum() {
+				t.Fatalf("k=%d n=%d: checksum stage disagrees: %#04x vs %#04x",
+					k, n, fck.Sum(), lck.Sum())
+			}
+		}
+	}
+}
+
+func TestChecksumStageMatchesKernel(t *testing.T) {
+	src := randBytes(4096, 5)
+	dst := make([]byte, 4096)
+	stages := []WordStage{&ChecksumStage{}}
+	FusedPath(dst, src, stages)
+	if got, want := stages[0].(*ChecksumStage).Sum(), checksum.Sum16(src); got != want {
+		t.Errorf("stage sum %#04x, want %#04x", got, want)
+	}
+}
+
+func TestDecryptStageInverts(t *testing.T) {
+	plain := randBytes(512, 6)
+	cipher := append([]byte(nil), plain...)
+	scramble.Apply(9, cipher)
+	dst := make([]byte, len(cipher))
+	FusedPath(dst, cipher, []WordStage{NewDecryptStage(9)})
+	if !bytes.Equal(dst, plain) {
+		t.Error("decrypt stage did not invert scramble.Apply")
+	}
+}
+
+func TestSwapStageIsInvolution(t *testing.T) {
+	src := randBytes(256, 8)
+	once := make([]byte, len(src))
+	twice := make([]byte, len(src))
+	FusedPath(once, src, []WordStage{SwapStage{}})
+	FusedPath(twice, once, []WordStage{SwapStage{}})
+	if !bytes.Equal(twice, src) {
+		t.Error("double byte swap is not identity")
+	}
+	if bytes.Equal(once, src) {
+		t.Error("swap did nothing")
+	}
+}
+
+func TestLayeredPathZeroStages(t *testing.T) {
+	src := randBytes(100, 9)
+	dst := make([]byte, 100)
+	LayeredPath(dst, make([]byte, 100), src, nil)
+	if !bytes.Equal(dst, src) {
+		t.Error("zero-stage layered path should copy")
+	}
+}
+
+func TestStandardStagesDepths(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		stages, ck := StandardStages(k, 1)
+		if len(stages) != k {
+			t.Errorf("k=%d: %d stages", k, len(stages))
+		}
+		if (k >= 2) != (ck != nil) {
+			t.Errorf("k=%d: checksum stage presence wrong", k)
+		}
+	}
+}
+
+func TestAccumulateOddSplits(t *testing.T) {
+	// Splitting a buffer at arbitrary (odd) boundaries must give the
+	// same checksum as one shot.
+	data := randBytes(333, 10)
+	want := checksum.Sum16(data)
+	for _, cuts := range [][]int{{1}, {3, 7}, {1, 2, 3, 4, 5}, {100, 200, 300}, {333}} {
+		var sum uint64
+		odd := false
+		prev := 0
+		for _, c := range cuts {
+			sum, odd = accumulateOdd(sum, odd, data[prev:c])
+			prev = c
+		}
+		sum, odd = accumulateOdd(sum, odd, data[prev:])
+		_ = odd
+		if got := ^checksum.Fold(sum); got != want {
+			t.Errorf("cuts %v: %#04x, want %#04x", cuts, got, want)
+		}
+	}
+}
+
+// --- Benchmarks (kernel-level; the paper-table benches live at repo root) ---
+
+func benchBuf(n int) ([]byte, []byte) {
+	return randBytes(n, 1), make([]byte, n)
+}
+
+func BenchmarkWordCopy4KB(b *testing.B) {
+	src, dst := benchBuf(4096)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WordCopy(dst, src)
+	}
+}
+
+func BenchmarkSeparateCopyChecksum4KB(b *testing.B) {
+	src, dst := benchBuf(4096)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SeparateCopyThenChecksum(dst, src)
+	}
+}
+
+func BenchmarkFusedCopyChecksum4KB(b *testing.B) {
+	src, dst := benchBuf(4096)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FusedCopyChecksum(dst, src)
+	}
+}
+
+func BenchmarkFusedCopyChecksumDecrypt4KB(b *testing.B) {
+	src, dst := benchBuf(4096)
+	ks := scramble.NewKeystream(1)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FusedCopyChecksumDecrypt(dst, src, ks)
+	}
+}
+
+func TestFusedCopySumFragments(t *testing.T) {
+	// Accumulating per-fragment partial sums at even offsets and folding
+	// once must equal the whole-buffer checksum.
+	data := randBytes(4001, 21)
+	want := checksum.Sum16(data)
+	dst := make([]byte, len(data))
+	bounds := []int{0, 8, 1000, 2048, 4001} // all even starts
+	var sum uint64
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		sum += FusedCopySum(dst[lo:hi], data[lo:hi])
+	}
+	if got := FinishSum(sum); got != want {
+		t.Errorf("fragmented sum %#04x, want %#04x", got, want)
+	}
+	if !bytes.Equal(dst, data) {
+		t.Error("fragmented copy mismatch")
+	}
+}
+
+func TestFusedDecryptCopySum(t *testing.T) {
+	const key = 1234
+	plain := randBytes(3333, 22)
+	cipher := append([]byte(nil), plain...)
+	scramble.XORAt(key, 0, cipher)
+
+	dst := make([]byte, len(plain))
+	// Fragments arrive out of order at 8-aligned offsets.
+	bounds := []int{0, 800, 1600, 2400, 3333}
+	var sum uint64
+	for _, i := range []int{2, 0, 3, 1} {
+		lo, hi := bounds[i], bounds[i+1]
+		sum += FusedDecryptCopySum(dst[lo:hi], cipher[lo:hi], key, lo)
+	}
+	if !bytes.Equal(dst, plain) {
+		t.Error("out-of-order fused decrypt mismatch")
+	}
+	if got, want := FinishSum(sum), checksum.Sum16(plain); got != want {
+		t.Errorf("plaintext sum %#04x, want %#04x", got, want)
+	}
+}
+
+func TestFusedDecryptCopySumUnalignedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on unaligned offset")
+		}
+	}()
+	FusedDecryptCopySum(make([]byte, 8), make([]byte, 8), 1, 4)
+}

@@ -1,0 +1,365 @@
+// Package netsim is the packet-level network substrate: a discrete-event
+// simulation of nodes joined by point-to-point links with configurable
+// rate, propagation delay, queueing, and impairments (random and bursty
+// loss, reordering, duplication, bit errors).
+//
+// The paper's experiments assume networks that lose, reorder and
+// duplicate data (§3, "Detecting network transmission problems"); this
+// package provides those failure modes deterministically from a seed.
+//
+// netsim is deliberately dumb about contents: payloads are opaque bytes,
+// and all framing, demultiplexing and recovery live in the layers above
+// (otp, alf). A Node delivers every arriving packet to its single
+// handler. Routers are ordinary nodes whose handler forwards on another
+// link.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies a node within one Network.
+type NodeID uint16
+
+// Packet is a datagram in flight. Payload is owned by the packet; links
+// copy on send so senders may reuse their buffers.
+type Packet struct {
+	From, To NodeID
+	Payload  []byte
+	// Corrupted marks packets damaged in transit when the link is
+	// configured to deliver (rather than drop) bit errors. Checksums in
+	// upper layers are expected to catch these; the flag exists so tests
+	// can distinguish "checksum caught it" from "checksum missed it".
+	Corrupted bool
+}
+
+// Handler consumes packets arriving at a node. Handlers run inside
+// scheduler callbacks: they must not block.
+type Handler func(*Packet)
+
+// ErrTooBig is returned by Send for payloads over the link MTU.
+var ErrTooBig = errors.New("netsim: payload exceeds link MTU")
+
+// ErrNoHandler is returned when delivering to a node with no handler.
+var ErrNoHandler = errors.New("netsim: node has no handler")
+
+// Network owns the nodes and links of one simulated topology, all driven
+// by a single scheduler and RNG.
+type Network struct {
+	Sched *sim.Scheduler
+	Rand  *sim.Rand
+	nodes []*Node
+}
+
+// New creates an empty network on sched with a RNG seeded by seed.
+func New(sched *sim.Scheduler, seed int64) *Network {
+	return &Network{Sched: sched, Rand: sim.NewRand(seed)}
+}
+
+// NewNode adds a node. The name is for diagnostics only.
+func (n *Network) NewNode(name string) *Node {
+	node := &Node{net: n, id: NodeID(len(n.nodes)), name: name}
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// Node is an endpoint or router attachment point.
+type Node struct {
+	net     *Network
+	id      NodeID
+	name    string
+	handler Handler
+	// Undelivered counts packets that arrived with no handler set.
+	Undelivered int64
+}
+
+// ID returns the node's network-unique identifier.
+func (nd *Node) ID() NodeID { return nd.id }
+
+// Name returns the diagnostic name.
+func (nd *Node) Name() string { return nd.name }
+
+// SetHandler installs the function that receives arriving packets.
+func (nd *Node) SetHandler(h Handler) { nd.handler = h }
+
+func (nd *Node) deliver(p *Packet) {
+	if nd.handler == nil {
+		nd.Undelivered++
+		return
+	}
+	nd.handler(p)
+}
+
+// Gilbert configures a two-state Gilbert–Elliott burst-loss process.
+// The link starts in the good state; transition probabilities are
+// evaluated per packet.
+type Gilbert struct {
+	PGoodToBad float64 // P(enter bad state), per packet while good
+	PBadToGood float64 // P(leave bad state), per packet while bad
+	LossGood   float64 // loss probability in the good state
+	LossBad    float64 // loss probability in the bad state
+}
+
+// LinkConfig describes one unidirectional link.
+type LinkConfig struct {
+	// RateBps is the serialization rate in bits per second.
+	// Zero means infinitely fast (no serialization delay).
+	RateBps float64
+	// Delay is the propagation delay.
+	Delay sim.Duration
+	// QueueLimit bounds the number of packets queued awaiting
+	// serialization (drop-tail). Zero means unlimited.
+	QueueLimit int
+	// MTU bounds payload size in bytes. Zero means unlimited.
+	MTU int
+
+	// LossProb drops each packet independently with this probability.
+	LossProb float64
+	// Burst, if non-nil, adds Gilbert–Elliott bursty loss on top of
+	// LossProb.
+	Burst *Gilbert
+	// DupProb delivers an extra copy of the packet with this probability.
+	DupProb float64
+	// ReorderProb holds a packet back by an extra random delay in
+	// (0, ReorderDelay], causing it to arrive after its successors.
+	ReorderProb  float64
+	ReorderDelay sim.Duration
+	// BitErrorRate is the independent per-bit corruption probability.
+	// Corrupted packets are delivered with flipped bits and
+	// Packet.Corrupted set; upper-layer checksums must catch them.
+	BitErrorRate float64
+}
+
+// LinkStats counts link events for assertions and experiment reports.
+type LinkStats struct {
+	Sent       int64 // packets accepted by Send
+	SentBytes  int64
+	Delivered  int64 // packets handed to the destination node
+	QueueDrops int64 // drop-tail losses
+	LineLosses int64 // impairment losses (random + burst)
+	Dups       int64
+	Reordered  int64
+	Corrupted  int64
+	Rejected   int64 // oversize sends
+}
+
+// Link is a unidirectional point-to-point pipe.
+type Link struct {
+	net  *Network
+	from *Node
+	to   *Node
+	cfg  LinkConfig
+
+	busyUntil sim.Time
+	queued    int
+	inBad     bool // Gilbert–Elliott state
+	Stats     LinkStats
+}
+
+// NewLink creates a unidirectional link from a to b.
+func (n *Network) NewLink(from, to *Node, cfg LinkConfig) *Link {
+	if from.net != n || to.net != n {
+		panic("netsim: nodes belong to a different network")
+	}
+	return &Link{net: n, from: from, to: to, cfg: cfg}
+}
+
+// NewDuplex creates a pair of links with the same configuration,
+// returning (a→b, b→a).
+func (n *Network) NewDuplex(a, b *Node, cfg LinkConfig) (ab, ba *Link) {
+	return n.NewLink(a, b, cfg), n.NewLink(b, a, cfg)
+}
+
+// From returns the sending node.
+func (l *Link) From() *Node { return l.from }
+
+// To returns the receiving node.
+func (l *Link) To() *Node { return l.to }
+
+// Config returns the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// serialization returns the transmission time of n payload bytes.
+func (l *Link) serialization(n int) sim.Duration {
+	if l.cfg.RateBps <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(n*8) / l.cfg.RateBps * 1e9)
+}
+
+// QueueLen returns the number of packets waiting for serialization.
+func (l *Link) QueueLen() int { return l.queued }
+
+// Send enqueues payload for transmission. The payload is copied. It
+// returns ErrTooBig for oversize payloads; queue overflow is not an
+// error (the packet is silently dropped and counted), matching real
+// datagram semantics.
+func (l *Link) Send(payload []byte) error {
+	return l.send(payload, l.to.id)
+}
+
+// send is the common transmission path. finalTo is the ultimate
+// destination recorded in the packet, which routers use to select the
+// next hop (it may differ from l.to when the packet is mid-route).
+func (l *Link) send(payload []byte, finalTo NodeID) error {
+	if l.cfg.MTU > 0 && len(payload) > l.cfg.MTU {
+		l.Stats.Rejected++
+		return fmt.Errorf("%w: %d > %d", ErrTooBig, len(payload), l.cfg.MTU)
+	}
+	if l.cfg.QueueLimit > 0 && l.queued >= l.cfg.QueueLimit {
+		l.Stats.QueueDrops++
+		return nil
+	}
+	l.Stats.Sent++
+	l.Stats.SentBytes += int64(len(payload))
+	l.queued++
+
+	now := l.net.Sched.Now()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	txEnd := start.Add(l.serialization(len(payload)))
+	l.busyUntil = txEnd
+
+	pkt := &Packet{From: l.from.id, To: finalTo, Payload: append([]byte(nil), payload...)}
+	l.net.Sched.At(txEnd, func() {
+		l.queued--
+		l.depart(pkt)
+	})
+	return nil
+}
+
+// depart applies impairments at the moment the packet finishes
+// serialization and schedules delivery.
+func (l *Link) depart(pkt *Packet) {
+	rnd := l.net.Rand
+
+	if l.lost(rnd) {
+		l.Stats.LineLosses++
+		return
+	}
+
+	if l.cfg.BitErrorRate > 0 {
+		bits := float64(len(pkt.Payload) * 8)
+		pCorrupt := 1 - math.Pow(1-l.cfg.BitErrorRate, bits)
+		if rnd.Bernoulli(pCorrupt) {
+			l.corrupt(pkt, rnd)
+		}
+	}
+
+	delay := l.cfg.Delay
+	if l.cfg.ReorderProb > 0 && rnd.Bernoulli(l.cfg.ReorderProb) {
+		extra := sim.Duration(rnd.Int63() % int64(maxDur(l.cfg.ReorderDelay, 1)))
+		delay += extra
+		l.Stats.Reordered++
+	}
+
+	l.schedDeliver(pkt, delay)
+
+	if l.cfg.DupProb > 0 && rnd.Bernoulli(l.cfg.DupProb) {
+		dup := &Packet{From: pkt.From, To: pkt.To, Corrupted: pkt.Corrupted,
+			Payload: append([]byte(nil), pkt.Payload...)}
+		l.Stats.Dups++
+		l.schedDeliver(dup, l.cfg.Delay)
+	}
+}
+
+func maxDur(a, b sim.Duration) sim.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (l *Link) schedDeliver(pkt *Packet, delay sim.Duration) {
+	l.net.Sched.After(delay, func() {
+		l.Stats.Delivered++
+		l.to.deliver(pkt)
+	})
+}
+
+// lost applies the random and burst loss processes.
+func (l *Link) lost(rnd *sim.Rand) bool {
+	if rnd.Bernoulli(l.cfg.LossProb) {
+		return true
+	}
+	if g := l.cfg.Burst; g != nil {
+		if l.inBad {
+			if rnd.Bernoulli(g.PBadToGood) {
+				l.inBad = false
+			}
+		} else {
+			if rnd.Bernoulli(g.PGoodToBad) {
+				l.inBad = true
+			}
+		}
+		p := g.LossGood
+		if l.inBad {
+			p = g.LossBad
+		}
+		return rnd.Bernoulli(p)
+	}
+	return false
+}
+
+// corrupt flips one to three bits of the payload.
+func (l *Link) corrupt(pkt *Packet, rnd *sim.Rand) {
+	if len(pkt.Payload) == 0 {
+		return
+	}
+	l.Stats.Corrupted++
+	pkt.Corrupted = true
+	nflips := 1 + rnd.Intn(3)
+	for i := 0; i < nflips; i++ {
+		pos := rnd.Intn(len(pkt.Payload))
+		pkt.Payload[pos] ^= 1 << uint(rnd.Intn(8))
+	}
+}
+
+// Router builds a node that forwards packets toward destinations over
+// per-destination output links, modeling a shared bottleneck. Routes are
+// matched on the packet's To field after re-addressing: the router
+// forwards the payload unchanged onto the configured output link.
+type Router struct {
+	Node   *Node
+	routes map[NodeID]*Link
+	// Unrouted counts packets with no matching route.
+	Unrouted int64
+}
+
+// NewRouter creates a router node.
+func (n *Network) NewRouter(name string) *Router {
+	r := &Router{routes: make(map[NodeID]*Link)}
+	r.Node = n.NewNode(name)
+	r.Node.SetHandler(r.forward)
+	return r
+}
+
+// AddRoute forwards packets destined (after this hop) for dst onto out.
+// The out link's To node need not be dst: multi-hop routes chain
+// routers.
+func (r *Router) AddRoute(dst *Node, out *Link) { r.routes[dst.id] = out }
+
+func (r *Router) forward(p *Packet) {
+	// The packet's To field carries the final destination (set by
+	// SendVia or a previous router hop), so multi-hop routes chain
+	// naturally.
+	out, ok := r.routes[p.To]
+	if !ok {
+		r.Unrouted++
+		return
+	}
+	_ = out.send(p.Payload, p.To)
+}
+
+// SendVia sends payload to final destination dst through a first-hop
+// link toward a router: the packet's To field carries the final
+// destination so each router on the path can look up its route.
+func SendVia(first *Link, dst *Node, payload []byte) error {
+	return first.send(payload, dst.id)
+}

@@ -1,0 +1,563 @@
+// Package otp implements the Ordered Transport Protocol — the paper's
+// TCP model and the baseline every ALF experiment compares against.
+//
+// OTP numbers the bytes in the stream, delivers strictly in order,
+// acknowledges cumulatively, retransmits from a sender-side copy on
+// timeout (and optionally on triple duplicate ACKs), and paces with a
+// sliding window. These are exactly the behaviours the paper interrogates:
+// the sequence numbers "have no meaning to the application" (§5), and a
+// single lost segment holds up all data behind it until recovery —
+// head-of-line blocking for the presentation pipeline.
+//
+// The implementation is an event-driven state machine on a sim.Scheduler;
+// it sends through any func([]byte) error (typically netsim.Link.Send)
+// and receives via HandleSegment.
+package otp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/checksum"
+	"repro/internal/sim"
+)
+
+// HeaderSize is the fixed OTP segment header length in bytes.
+//
+// Layout (big-endian):
+//
+//	0     flags (1=DATA, 2=ACK)
+//	1     connection id
+//	2:6   sequence number (stream offset of first payload byte)
+//	6:10  cumulative acknowledgement (next expected stream offset)
+//	10:12 advertised receive window (bytes, in 16-byte units)
+//	12:14 Internet checksum over header+payload
+//	14:16 payload length
+const HeaderSize = 16
+
+// Segment flags.
+const (
+	flagData = 1 << 0
+	flagAck  = 1 << 1
+)
+
+// windowUnit scales the 16-bit advertised-window field.
+const windowUnit = 16
+
+// Errors.
+var (
+	ErrSegmentSize = errors.New("otp: segment too short")
+	ErrBufferFull  = errors.New("otp: send buffer full")
+	ErrWrongConn   = errors.New("otp: segment for another connection")
+)
+
+// Config parameterizes a connection. Zero fields take defaults.
+type Config struct {
+	// ConnID demultiplexes connections sharing a node.
+	ConnID byte
+	// MSS is the maximum payload bytes per segment (default 1000).
+	MSS int
+	// SendWindow bounds unacknowledged bytes in flight (default 64 KiB).
+	SendWindow int
+	// RecvWindow bounds receiver buffering (default 64 KiB). It is
+	// advertised to the sender and caps out-of-order storage.
+	RecvWindow int
+	// SendBuffer bounds data the application may queue ahead of the
+	// window (default 1 MiB).
+	SendBuffer int
+	// InitialRTO is the retransmission timeout before any RTT sample
+	// (default 200 ms). MinRTO/MaxRTO clamp the adaptive value
+	// (defaults 50 ms / 10 s).
+	InitialRTO, MinRTO, MaxRTO sim.Duration
+	// AckDelay batches acknowledgements: an ACK is sent at most this
+	// long after the segment that provoked it (0 = immediate). The
+	// delayed-ACK path is the out-of-band control of experiment A2.
+	AckDelay sim.Duration
+	// FastRetransmit enables retransmission on three duplicate ACKs.
+	FastRetransmit bool
+}
+
+func (c *Config) fill() {
+	if c.MSS == 0 {
+		c.MSS = 1000
+	}
+	if c.SendWindow == 0 {
+		c.SendWindow = 64 << 10
+	}
+	if c.RecvWindow == 0 {
+		c.RecvWindow = 64 << 10
+	}
+	if c.SendBuffer == 0 {
+		c.SendBuffer = 1 << 20
+	}
+	if c.InitialRTO == 0 {
+		c.InitialRTO = 200 * time.Millisecond
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 50 * time.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 10 * time.Second
+	}
+}
+
+// Stats counts connection events.
+type Stats struct {
+	SegmentsSent   int64
+	BytesSent      int64 // payload bytes, first transmissions only
+	Retransmits    int64
+	Timeouts       int64
+	FastRetransmit int64
+	AcksSent       int64
+
+	SegmentsReceived int64
+	BytesDelivered   int64
+	ChecksumDrops    int64
+	Duplicates       int64
+	OutOfOrder       int64 // segments buffered ahead of a gap
+	WindowDrops      int64 // segments beyond the receive window info
+	DupAcks          int64
+	BadAcks          int64 // acknowledgements for data never sent
+}
+
+// Conn is one end of an OTP connection. Both directions carry data; the
+// two directions are independent (ACKs are separate segments).
+type Conn struct {
+	cfg   Config
+	sched *sim.Scheduler
+	send  func([]byte) error
+
+	// OnData receives in-order payload as it becomes deliverable. The
+	// slice is owned by the callee.
+	OnData func([]byte)
+	// OnAcked, if set, fires whenever the acknowledged offset advances,
+	// with the total acknowledged byte count.
+	OnAcked func(total int64)
+
+	// Sender state (absolute stream offsets).
+	sndUna  int64  // oldest unacknowledged
+	sndNxt  int64  // next offset to transmit
+	sndEnd  int64  // end of data written by the application
+	sndBuf  []byte // bytes [sndUna, sndEnd)
+	peerWnd int    // last advertised window from peer
+	dupAcks int
+	// Loss recovery (NewReno shape): while in recovery, each partial
+	// ACK retransmits the next hole immediately instead of waiting out
+	// another RTO.
+	inRecovery bool
+	recoverPt  int64 // sndNxt when recovery began
+
+	// RTT estimation (Jacobson/Karn).
+	srtt, rttvar sim.Duration
+	rto          sim.Duration
+	timedSeq     int64    // segment whose RTT is being measured
+	timedAt      sim.Time // when it was sent
+	timingActive bool
+	rtoTimer     *sim.Timer
+
+	// Receiver state.
+	rcvNxt   int64
+	ooo      map[int64][]byte // out-of-order segments by offset
+	oooBytes int
+	ackTimer *sim.Timer
+	ackOwed  bool
+
+	Stats Stats
+}
+
+// New creates a connection endpoint. send transmits a wire segment
+// toward the peer (e.g. a closure over netsim.Link.Send).
+func New(sched *sim.Scheduler, send func([]byte) error, cfg Config) *Conn {
+	cfg.fill()
+	c := &Conn{
+		cfg:   cfg,
+		sched: sched,
+		send:  send,
+		// Until the peer advertises, assume one segment of window — the
+		// conservative start keeps a fast sender from overrunning a
+		// small receiver before the first ACK returns.
+		peerWnd: cfg.MSS,
+		rto:     cfg.InitialRTO,
+		ooo:     make(map[int64][]byte),
+	}
+	c.rtoTimer = sched.NewTimer(c.onTimeout)
+	c.ackTimer = sched.NewTimer(c.flushAck)
+	return c
+}
+
+// Config returns the effective configuration.
+func (c *Conn) Config() Config { return c.cfg }
+
+// Buffered returns the bytes written but not yet acknowledged.
+func (c *Conn) Buffered() int { return int(c.sndEnd - c.sndUna) }
+
+// Acked returns the total bytes acknowledged by the peer.
+func (c *Conn) Acked() int64 { return c.sndUna }
+
+// Delivered returns the total bytes handed to OnData in order.
+func (c *Conn) Delivered() int64 { return c.rcvNxt }
+
+// Idle reports whether the sender has nothing outstanding or queued.
+func (c *Conn) Idle() bool { return c.sndUna == c.sndEnd }
+
+// Send queues data for transmission. It returns ErrBufferFull when the
+// send buffer cannot take the whole write (nothing is queued in that
+// case).
+func (c *Conn) Send(data []byte) error {
+	if c.Buffered()+len(data) > c.cfg.SendBuffer {
+		return fmt.Errorf("%w: %d queued", ErrBufferFull, c.Buffered())
+	}
+	c.sndBuf = append(c.sndBuf, data...)
+	c.sndEnd += int64(len(data))
+	c.pump()
+	return nil
+}
+
+// sendWindow returns how many bytes past sndUna the sender may have in
+// flight: the lesser of our configured window and the peer's advert.
+func (c *Conn) sendWindow() int {
+	w := c.cfg.SendWindow
+	if c.peerWnd < w {
+		w = c.peerWnd
+	}
+	return w
+}
+
+// pump transmits new segments while window and data allow.
+func (c *Conn) pump() {
+	for c.sndNxt < c.sndEnd {
+		inFlight := int(c.sndNxt - c.sndUna)
+		room := c.sendWindow() - inFlight
+		if room <= 0 {
+			if inFlight > 0 {
+				return
+			}
+			// Zero-window persist: keep one byte moving so a window
+			// update can never be missed forever. In-order data is
+			// always accepted by the receiver, so this cannot livelock.
+			room = 1
+		}
+		n := int(c.sndEnd - c.sndNxt)
+		if n > c.cfg.MSS {
+			n = c.cfg.MSS
+		}
+		if n > room {
+			n = room
+		}
+		off := int(c.sndNxt - c.sndUna)
+		c.transmit(c.sndNxt, c.sndBuf[off:off+n], false)
+		c.sndNxt += int64(n)
+	}
+}
+
+// transmit emits one DATA segment (with a piggybacked cumulative ACK).
+func (c *Conn) transmit(seq int64, payload []byte, isRetx bool) {
+	seg := c.makeSegment(flagData|flagAck, seq, payload)
+	c.Stats.SegmentsSent++
+	if isRetx {
+		c.Stats.Retransmits++
+	} else {
+		c.Stats.BytesSent += int64(len(payload))
+		// Karn: only time segments never retransmitted; one at a time.
+		if !c.timingActive {
+			c.timingActive = true
+			c.timedSeq = seq + int64(len(payload))
+			c.timedAt = c.sched.Now()
+		}
+	}
+	_ = c.send(seg)
+	if !c.rtoTimer.Active() {
+		c.rtoTimer.Reset(c.rto)
+	}
+}
+
+// makeSegment builds a wire segment with checksum.
+func (c *Conn) makeSegment(flags byte, seq int64, payload []byte) []byte {
+	seg := make([]byte, HeaderSize+len(payload))
+	seg[0] = flags
+	seg[1] = c.cfg.ConnID
+	binary.BigEndian.PutUint32(seg[2:6], uint32(seq))
+	binary.BigEndian.PutUint32(seg[6:10], uint32(c.rcvNxt))
+	wnd := c.recvWindowAvail() / windowUnit
+	if wnd > 0xFFFF {
+		wnd = 0xFFFF
+	}
+	binary.BigEndian.PutUint16(seg[10:12], uint16(wnd))
+	binary.BigEndian.PutUint16(seg[14:16], uint16(len(payload)))
+	copy(seg[HeaderSize:], payload)
+	ck := checksum.Sum16(seg)
+	binary.BigEndian.PutUint16(seg[12:14], ck)
+	return seg
+}
+
+// recvWindowAvail is the receive window we can advertise: configured
+// capacity minus out-of-order bytes held.
+func (c *Conn) recvWindowAvail() int {
+	a := c.cfg.RecvWindow - c.oooBytes
+	if a < 0 {
+		a = 0
+	}
+	return a
+}
+
+// onTimeout handles RTO expiry: retransmit the oldest outstanding
+// segment and back off.
+func (c *Conn) onTimeout() {
+	if c.sndUna == c.sndNxt {
+		return // nothing outstanding
+	}
+	c.Stats.Timeouts++
+	c.timingActive = false // Karn: discard the sample
+	c.enterRecovery()
+	n := int(c.sndNxt - c.sndUna)
+	if n > c.cfg.MSS {
+		n = c.cfg.MSS
+	}
+	c.transmit(c.sndUna, c.sndBuf[:n], true)
+	c.rto *= 2
+	if c.rto > c.cfg.MaxRTO {
+		c.rto = c.cfg.MaxRTO
+	}
+	c.rtoTimer.Reset(c.rto)
+}
+
+// HandleSegment processes one arriving wire segment (the node handler
+// should pass packet payloads here). Segments for other connection IDs
+// are reported with ErrWrongConn so a demultiplexer can try elsewhere.
+func (c *Conn) HandleSegment(seg []byte) error {
+	if len(seg) < HeaderSize {
+		return fmt.Errorf("%w: %d bytes", ErrSegmentSize, len(seg))
+	}
+	if seg[1] != c.cfg.ConnID {
+		return ErrWrongConn
+	}
+	if !checksum.Verify16(seg) {
+		c.Stats.ChecksumDrops++
+		return nil
+	}
+	flags := seg[0]
+	plen := int(binary.BigEndian.Uint16(seg[14:16]))
+	if len(seg) < HeaderSize+plen {
+		c.Stats.ChecksumDrops++
+		return nil
+	}
+	ack := extend(binary.BigEndian.Uint32(seg[6:10]), c.sndUna)
+	wnd := int(binary.BigEndian.Uint16(seg[10:12])) * windowUnit
+	c.peerWnd = wnd
+
+	if flags&flagAck != 0 {
+		c.handleAck(ack)
+	}
+	if flags&flagData != 0 {
+		c.Stats.SegmentsReceived++
+		seq := extend(binary.BigEndian.Uint32(seg[2:6]), c.rcvNxt)
+		c.handleData(seq, seg[HeaderSize:HeaderSize+plen])
+	}
+	return nil
+}
+
+// extend widens a 32-bit wire sequence number to 64 bits near a
+// reference offset (handles wrap for streams past 4 GiB).
+func extend(w uint32, near int64) int64 {
+	base := near &^ 0xFFFFFFFF
+	v := base | int64(w)
+	if v < near-1<<31 {
+		v += 1 << 32
+	} else if v > near+1<<31 {
+		v -= 1 << 32
+	}
+	return v
+}
+
+func (c *Conn) handleAck(ack int64) {
+	switch {
+	case ack > c.sndNxt:
+		// Acknowledgement for data never sent: a broken or forged peer.
+		// RFC-style behaviour is to ignore it.
+		c.Stats.BadAcks++
+	case ack > c.sndUna:
+		adv := int(ack - c.sndUna)
+		c.sndBuf = c.sndBuf[adv:]
+		c.sndUna = ack
+		if c.sndNxt < c.sndUna {
+			c.sndNxt = c.sndUna
+		}
+		c.dupAcks = 0
+		// RTT sample (Karn-filtered).
+		if c.timingActive && ack >= c.timedSeq {
+			c.sample(c.sched.Now().Sub(c.timedAt))
+			c.timingActive = false
+		} else if c.srtt > 0 {
+			// Forward progress collapses any exponential backoff back
+			// to the estimator-derived timeout.
+			c.deriveRTO()
+		}
+		if c.inRecovery {
+			if ack >= c.recoverPt {
+				c.inRecovery = false
+			} else {
+				// Partial ACK: the next hole starts at the new sndUna;
+				// retransmit it now rather than after another timeout.
+				n := int(c.sndNxt - c.sndUna)
+				if n > c.cfg.MSS {
+					n = c.cfg.MSS
+				}
+				c.transmit(c.sndUna, c.sndBuf[:n], true)
+			}
+		}
+		if c.sndUna == c.sndNxt {
+			c.rtoTimer.Stop()
+		} else {
+			c.rtoTimer.Reset(c.rto)
+		}
+		if c.OnAcked != nil {
+			c.OnAcked(c.sndUna)
+		}
+		c.pump()
+	case ack == c.sndUna && c.sndNxt > c.sndUna:
+		c.Stats.DupAcks++
+		c.dupAcks++
+		if c.cfg.FastRetransmit && c.dupAcks == 3 {
+			c.Stats.FastRetransmit++
+			c.enterRecovery()
+			n := int(c.sndNxt - c.sndUna)
+			if n > c.cfg.MSS {
+				n = c.cfg.MSS
+			}
+			c.transmit(c.sndUna, c.sndBuf[:n], true)
+		}
+	}
+}
+
+// enterRecovery records the stream point that ends loss recovery.
+func (c *Conn) enterRecovery() {
+	c.inRecovery = true
+	if c.sndNxt > c.recoverPt {
+		c.recoverPt = c.sndNxt
+	}
+}
+
+// sample folds one RTT measurement into SRTT/RTTVAR and derives the RTO
+// (Jacobson's algorithm).
+func (c *Conn) sample(rtt sim.Duration) {
+	if c.srtt == 0 {
+		c.srtt = rtt
+		c.rttvar = rtt / 2
+	} else {
+		d := c.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + rtt) / 8
+	}
+	c.deriveRTO()
+}
+
+// deriveRTO recomputes the timeout from the smoothed estimators,
+// clamped to the configured bounds.
+func (c *Conn) deriveRTO() {
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < c.cfg.MinRTO {
+		c.rto = c.cfg.MinRTO
+	}
+	if c.rto > c.cfg.MaxRTO {
+		c.rto = c.cfg.MaxRTO
+	}
+}
+
+// RTO returns the current retransmission timeout (for tests).
+func (c *Conn) RTO() sim.Duration { return c.rto }
+
+// SRTT returns the smoothed round-trip estimate (for tests).
+func (c *Conn) SRTT() sim.Duration { return c.srtt }
+
+func (c *Conn) handleData(seq int64, payload []byte) {
+	end := seq + int64(len(payload))
+	switch {
+	case end <= c.rcvNxt:
+		// Entirely old: a duplicate. Re-ack so the sender advances.
+		c.Stats.Duplicates++
+		c.scheduleAck()
+		return
+	case seq > c.rcvNxt:
+		// Ahead of a gap: buffer within window.
+		if _, dup := c.ooo[seq]; dup {
+			c.Stats.Duplicates++
+			c.scheduleAck()
+			return
+		}
+		if int(seq-c.rcvNxt)+len(payload) > c.cfg.RecvWindow {
+			c.Stats.WindowDrops++
+			return
+		}
+		c.Stats.OutOfOrder++
+		c.ooo[seq] = append([]byte(nil), payload...)
+		c.oooBytes += len(payload)
+		c.scheduleAck()
+		return
+	}
+	// Overlaps rcvNxt: deliver the new part.
+	fresh := payload[c.rcvNxt-seq:]
+	c.deliver(fresh)
+	// Drain out-of-order segments that are now contiguous. A
+	// retransmission may span different boundaries than the original
+	// segments, so entries can overlap rcvNxt partially or be wholly
+	// stale; handle all three cases.
+	for progressed := true; progressed; {
+		progressed = false
+		for off, p := range c.ooo {
+			if off > c.rcvNxt {
+				continue
+			}
+			delete(c.ooo, off)
+			c.oooBytes -= len(p)
+			if end := off + int64(len(p)); end > c.rcvNxt {
+				c.deliver(p[c.rcvNxt-off:])
+			}
+			progressed = true
+		}
+	}
+	c.scheduleAck()
+}
+
+func (c *Conn) deliver(p []byte) {
+	c.rcvNxt += int64(len(p))
+	c.Stats.BytesDelivered += int64(len(p))
+	if c.OnData != nil {
+		c.OnData(p)
+	}
+}
+
+// scheduleAck sends an ACK now or arms the delayed-ACK timer.
+func (c *Conn) scheduleAck() {
+	if c.cfg.AckDelay == 0 {
+		c.flushAck()
+		return
+	}
+	c.ackOwed = true
+	if !c.ackTimer.Active() {
+		c.ackTimer.Reset(c.cfg.AckDelay)
+	}
+}
+
+func (c *Conn) flushAck() {
+	c.ackOwed = false
+	c.ackTimer.Stop()
+	c.Stats.AcksSent++
+	_ = c.send(c.makeSegment(flagAck, 0, nil))
+}
+
+// OOOSegments returns the offsets currently buffered ahead of a gap
+// (sorted), for tests.
+func (c *Conn) OOOSegments() []int64 {
+	var offs []int64
+	for o := range c.ooo {
+		offs = append(offs, o)
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	return offs
+}

@@ -1,0 +1,223 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, an event scheduler, and a seeded random source.
+//
+// Everything on the network side of this repository (links, transports,
+// applications) is written as callback state machines driven by a
+// Scheduler, in the style of classic network simulators. This keeps
+// experiments fast (no wall-clock sleeps) and reproducible (a seed fully
+// determines the run).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, expressed as nanoseconds since the
+// start of the simulation.
+type Time int64
+
+// Duration re-exports time.Duration so callers can write sim-agnostic
+// arithmetic (propagation delays, timeouts) with familiar units.
+type Duration = time.Duration
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String formats the virtual time like a duration, e.g. "1.5s".
+func (t Time) String() string { return Duration(t).String() }
+
+// ErrStopped is returned by Run when the scheduler was halted by Stop
+// rather than by draining its event queue.
+var ErrStopped = errors.New("sim: scheduler stopped")
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so the caller can cancel it before it fires.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-break so equal-time events fire in schedule order
+	fn     func()
+	index  int // heap index; -1 once fired or cancelled
+	cancel bool
+}
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancel = true
+	}
+}
+
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e != nil && !e.cancel && e.index >= 0 }
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; the intended model is that all simulation work runs
+// inside event callbacks on one goroutine.
+type Scheduler struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewScheduler returns a scheduler with the clock at zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Pending returns the number of events waiting to fire (including
+// cancelled events that have not yet been discarded).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Fired returns the total number of callbacks executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) panics: it is always a logic error in a simulation.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (s *Scheduler) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Run executes events in timestamp order until the queue drains or Stop
+// is called. It returns ErrStopped in the latter case.
+func (s *Scheduler) Run() error {
+	s.stopped = false
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		s.step()
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to exactly deadline. Events after the deadline remain queued.
+func (s *Scheduler) RunUntil(deadline Time) error {
+	s.stopped = false
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		if s.stopped {
+			return ErrStopped
+		}
+		s.step()
+	}
+	if !s.stopped && s.now < deadline {
+		s.now = deadline
+	}
+	if s.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// RunFor is RunUntil(Now+d).
+func (s *Scheduler) RunFor(d Duration) error { return s.RunUntil(s.now.Add(d)) }
+
+// Step runs the single earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event ran.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		if s.queue[0].cancel {
+			heap.Pop(&s.queue)
+			continue
+		}
+		s.step()
+		return true
+	}
+	return false
+}
+
+func (s *Scheduler) step() {
+	e := heap.Pop(&s.queue).(*Event)
+	if e.cancel {
+		return
+	}
+	s.now = e.at
+	s.fired++
+	e.fn()
+}
+
+// Stop halts a Run/RunUntil in progress after the current callback
+// returns. Queued events are preserved.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Timer is a restartable one-shot timer bound to a scheduler, in the
+// mould of time.Timer but on virtual time. The zero value is unusable;
+// create timers with NewTimer.
+type Timer struct {
+	s  *Scheduler
+	fn func()
+	ev *Event
+}
+
+// NewTimer returns a stopped timer that will invoke fn when it expires.
+func (s *Scheduler) NewTimer(fn func()) *Timer { return &Timer{s: s, fn: fn} }
+
+// Reset (re)arms the timer to fire d from now, cancelling any pending
+// expiry.
+func (t *Timer) Reset(d Duration) {
+	t.ev.Cancel()
+	t.ev = t.s.After(d, t.fn)
+}
+
+// Stop disarms the timer. Stopping a stopped timer is a no-op.
+func (t *Timer) Stop() { t.ev.Cancel() }
+
+// Active reports whether the timer is armed.
+func (t *Timer) Active() bool { return t.ev.Scheduled() }

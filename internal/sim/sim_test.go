@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.After(30*time.Millisecond, func() { got = append(got, 3) })
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+	if s.Now() != Time(30*time.Millisecond) {
+		t.Errorf("clock = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameTime(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(Time(5*time.Millisecond), func() { got = append(got, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of schedule order: %v", got)
+		}
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			s.After(time.Second, tick)
+		}
+	}
+	s.After(time.Second, tick)
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if s.Now() != Time(5*time.Second) {
+		t.Errorf("clock = %v, want 5s", s.Now())
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.After(time.Second, func() { fired = true })
+	if !e.Scheduled() {
+		t.Fatal("event should be scheduled")
+	}
+	e.Cancel()
+	if e.Scheduled() {
+		t.Fatal("cancelled event reports scheduled")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Double-cancel and nil-cancel must not panic.
+	e.Cancel()
+	var nilEv *Event
+	nilEv.Cancel()
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.After(1*time.Second, func() { got = append(got, 1) })
+	s.After(3*time.Second, func() { got = append(got, 3) })
+	if err := s.RunUntil(Time(2 * time.Second)); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got %v, want [1]", got)
+	}
+	if s.Now() != Time(2*time.Second) {
+		t.Errorf("clock = %v, want 2s (advanced to deadline)", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", s.Pending())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("second event did not fire: %v", got)
+	}
+}
+
+func TestRunForAccumulates(t *testing.T) {
+	s := NewScheduler()
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != Time(2*time.Second) {
+		t.Errorf("clock = %v, want 2s", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := NewScheduler()
+	ran := 0
+	s.After(time.Second, func() { ran++; s.Stop() })
+	s.After(2*time.Second, func() { ran++ })
+	if err := s.Run(); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1", ran)
+	}
+	// Resuming runs the remaining event.
+	if err := s.Run(); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if ran != 2 {
+		t.Errorf("ran = %d, want 2 after resume", ran)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.After(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(0, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeAfterClamped(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Error("negative-delay event did not fire")
+	}
+	if s.Now() != 0 {
+		t.Errorf("clock = %v, want 0", s.Now())
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := NewScheduler()
+	a := s.After(time.Second, func() {})
+	s.After(2*time.Second, func() {})
+	a.Cancel()
+	if !s.Step() {
+		t.Fatal("Step should run the surviving event")
+	}
+	if s.Now() != Time(2*time.Second) {
+		t.Errorf("clock = %v, want 2s (skipped cancelled event)", s.Now())
+	}
+	if s.Step() {
+		t.Error("Step on empty queue reported work")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	tm := s.NewTimer(func() { fired++ })
+	if tm.Active() {
+		t.Fatal("new timer active")
+	}
+	tm.Reset(time.Second)
+	tm.Reset(2 * time.Second) // re-arm must cancel the first expiry
+	if !tm.Active() {
+		t.Fatal("armed timer inactive")
+	}
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if s.Now() != Time(2*time.Second) {
+		t.Errorf("clock = %v, want 2s", s.Now())
+	}
+	tm.Reset(time.Second)
+	tm.Stop()
+	s.Run()
+	if fired != 1 {
+		t.Errorf("stopped timer fired (count %d)", fired)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	tm := Time(0).Add(1500 * time.Millisecond)
+	if tm.Seconds() != 1.5 {
+		t.Errorf("Seconds = %v, want 1.5", tm.Seconds())
+	}
+	if tm.Sub(Time(time.Second)) != 500*time.Millisecond {
+		t.Errorf("Sub wrong: %v", tm.Sub(Time(time.Second)))
+	}
+	if tm.String() != "1.5s" {
+		t.Errorf("String = %q", tm.String())
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRand(42).Uint64() == c.Uint64() {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRandBernoulli(t *testing.T) {
+	r := NewRand(1)
+	if r.Bernoulli(0) {
+		t.Error("Bernoulli(0) = true")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("Bernoulli(1) = false")
+	}
+	n := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Bernoulli(0.3) {
+			n++
+		}
+	}
+	frac := float64(n) / trials
+	if frac < 0.28 || frac > 0.32 {
+		t.Errorf("Bernoulli(0.3) rate = %v, want ~0.3", frac)
+	}
+}
+
+func TestRandExpDuration(t *testing.T) {
+	r := NewRand(7)
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := r.ExpDuration(time.Millisecond)
+		if d < 0 {
+			t.Fatal("negative exponential draw")
+		}
+		sum += d
+	}
+	mean := sum / n
+	if mean < 900*time.Microsecond || mean > 1100*time.Microsecond {
+		t.Errorf("mean = %v, want ~1ms", mean)
+	}
+}
+
+func TestRandFill(t *testing.T) {
+	r := NewRand(9)
+	b := make([]byte, 64)
+	r.Fill(b)
+	zero := 0
+	for _, x := range b {
+		if x == 0 {
+			zero++
+		}
+	}
+	if zero == len(b) {
+		t.Error("Fill produced all zeros")
+	}
+}
+
+func TestSchedulerFiresInTimestampOrderProperty(t *testing.T) {
+	// Any multiset of event times must fire in nondecreasing order.
+	f := func(delays []uint16) bool {
+		s := NewScheduler()
+		var fired []Time
+		for _, d := range delays {
+			s.After(time.Duration(d)*time.Microsecond, func() {
+				fired = append(fired, s.Now())
+			})
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchedulerClockNeverRegresses(t *testing.T) {
+	// Even with nested scheduling from inside callbacks, Now() is
+	// monotone.
+	s := NewScheduler()
+	prev := Time(0)
+	violated := false
+	var spawn func(depth int)
+	r := NewRand(5)
+	spawn = func(depth int) {
+		if s.Now() < prev {
+			violated = true
+		}
+		prev = s.Now()
+		if depth < 4 {
+			for i := 0; i < 3; i++ {
+				d := time.Duration(r.Intn(1000)) * time.Microsecond
+				s.After(d, func() { spawn(depth + 1) })
+			}
+		}
+	}
+	spawn(0)
+	s.Run()
+	if violated {
+		t.Error("clock regressed")
+	}
+}

@@ -1,0 +1,195 @@
+// Package trace renders wire packets of every protocol in this
+// repository as human-readable one-liners and provides hooks that
+// annotate a simulation with a tcpdump-style event log. It exists for
+// debugging and for the cmd/alftrace inspection tool.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/netsim"
+	"repro/internal/session"
+	"repro/internal/sim"
+)
+
+// Proto selects the dialect a byte string should be decoded as; OTP
+// segments and ALF packets share low type values, so the caller says
+// which protocol a channel carries.
+type Proto int
+
+// Protocols understood by Describe.
+const (
+	// ALF covers data fragments, control, heartbeats, and the session
+	// handshake (their type bytes are disjoint).
+	ALF Proto = iota
+	// OTP is the ordered transport's segment format.
+	OTP
+)
+
+// Describe renders one packet as a single line (no newline).
+func Describe(p Proto, pkt []byte) string {
+	switch p {
+	case OTP:
+		return describeOTP(pkt)
+	default:
+		return describeALF(pkt)
+	}
+}
+
+func describeALF(pkt []byte) string {
+	if t := session.MessageType(pkt); t != 0 {
+		return describeSession(t, pkt)
+	}
+	if len(pkt) == 0 {
+		return "alf: empty"
+	}
+	switch pkt[0] {
+	case 1: // data fragment
+		if len(pkt) < 34 {
+			return fmt.Sprintf("alf data: short (%d bytes)", len(pkt))
+		}
+		name := binary.BigEndian.Uint64(pkt[2:10])
+		tag := binary.BigEndian.Uint64(pkt[10:18])
+		flags := pkt[19]
+		total := binary.BigEndian.Uint32(pkt[20:24])
+		off := binary.BigEndian.Uint32(pkt[24:28])
+		flen := binary.BigEndian.Uint16(pkt[28:30])
+		kind := "DATA"
+		if flags&2 != 0 {
+			kind = "PARITY"
+		}
+		enc := ""
+		if flags&1 != 0 {
+			enc = " enc"
+		}
+		return fmt.Sprintf("alf %s stream=%d adu=%d tag=%#x frag=[%d:%d) of %d%s",
+			kind, pkt[1], name, tag, off, off+uint32(flen), total, enc)
+	case 2: // control
+		if len(pkt) < 14 {
+			return fmt.Sprintf("alf ctrl: short (%d bytes)", len(pkt))
+		}
+		cum := binary.BigEndian.Uint64(pkt[2:10])
+		n := int(binary.BigEndian.Uint16(pkt[10:12]))
+		s := fmt.Sprintf("alf CTRL stream=%d cum=%d nacks=%d", pkt[1], cum, n)
+		if n > 0 && len(pkt) >= 12+8*n {
+			s += " ["
+			for i := 0; i < n && i < 8; i++ {
+				if i > 0 {
+					s += " "
+				}
+				s += fmt.Sprintf("%d", binary.BigEndian.Uint64(pkt[12+8*i:]))
+			}
+			if n > 8 {
+				s += " …"
+			}
+			s += "]"
+		}
+		return s
+	case 3: // heartbeat
+		if len(pkt) < 12 {
+			return fmt.Sprintf("alf hb: short (%d bytes)", len(pkt))
+		}
+		return fmt.Sprintf("alf HB stream=%d next=%d", pkt[1], binary.BigEndian.Uint64(pkt[2:10]))
+	default:
+		return fmt.Sprintf("alf: unknown type %d (%d bytes)", pkt[0], len(pkt))
+	}
+}
+
+func describeSession(t int, pkt []byte) string {
+	switch t {
+	case 10:
+		if len(pkt) < 25 {
+			return "session OFFER: short"
+		}
+		return fmt.Sprintf("session OFFER stream=%d syntaxes=%d mtu=%d policy=%d fec=%d",
+			pkt[1], pkt[24],
+			binary.BigEndian.Uint16(pkt[4:6]),
+			pkt[3],
+			binary.BigEndian.Uint16(pkt[6:8]))
+	case 11:
+		if len(pkt) < 3 {
+			return "session ACCEPT: short"
+		}
+		return fmt.Sprintf("session ACCEPT stream=%d syntax=%d", pkt[1], pkt[2])
+	case 12:
+		if len(pkt) < 3 {
+			return "session REJECT: short"
+		}
+		return fmt.Sprintf("session REJECT stream=%d reason=%d", pkt[1], pkt[2])
+	}
+	return "session: unknown"
+}
+
+func describeOTP(seg []byte) string {
+	if len(seg) < 16 {
+		return fmt.Sprintf("otp: short (%d bytes)", len(seg))
+	}
+	flags := seg[0]
+	seq := binary.BigEndian.Uint32(seg[2:6])
+	ack := binary.BigEndian.Uint32(seg[6:10])
+	wnd := binary.BigEndian.Uint16(seg[10:12])
+	plen := binary.BigEndian.Uint16(seg[14:16])
+	kind := ""
+	if flags&1 != 0 {
+		kind += "DATA "
+	}
+	if flags&2 != 0 {
+		kind += "ACK "
+	}
+	if kind == "" {
+		kind = "? "
+	}
+	return fmt.Sprintf("otp %sconn=%d seq=%d ack=%d wnd=%d len=%d",
+		kind, seg[1], seq, ack, wnd*16, plen)
+}
+
+// Logger annotates send functions and node handlers with timestamped
+// trace lines on an io.Writer.
+type Logger struct {
+	W     io.Writer
+	Sched *sim.Scheduler
+	// Lines counts emitted entries; Limit (if >0) silences output after
+	// that many lines so a trace cannot drown a long run.
+	Lines int64
+	Limit int64
+}
+
+// New creates a logger writing to w on sched's clock.
+func New(w io.Writer, sched *sim.Scheduler) *Logger {
+	return &Logger{W: w, Sched: sched}
+}
+
+func (l *Logger) log(dir, label string, p Proto, pkt []byte) {
+	l.Lines++
+	if l.Limit > 0 && l.Lines > l.Limit {
+		if l.Lines == l.Limit+1 {
+			fmt.Fprintf(l.W, "… trace truncated at %d lines\n", l.Limit)
+		}
+		return
+	}
+	fmt.Fprintf(l.W, "%12v %s %-10s %s\n", l.Sched.Now(), dir, label, Describe(p, pkt))
+}
+
+// WrapSend returns a send function that logs each packet ("->") before
+// forwarding to next.
+func (l *Logger) WrapSend(label string, p Proto, next func([]byte) error) func([]byte) error {
+	return func(pkt []byte) error {
+		l.log("->", label, p, pkt)
+		return next(pkt)
+	}
+}
+
+// WrapHandler returns a node handler that logs each arrival ("<-")
+// before forwarding to next.
+func (l *Logger) WrapHandler(label string, p Proto, next netsim.Handler) netsim.Handler {
+	return func(pk *netsim.Packet) {
+		dir := "<-"
+		if pk.Corrupted {
+			dir = "<!"
+		}
+		l.log(dir, label, p, pk.Payload)
+		next(pk)
+	}
+}

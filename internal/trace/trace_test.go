@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	alf "repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/otp"
+	"repro/internal/sim"
+	"repro/internal/xcode"
+)
+
+func TestDescribeALFData(t *testing.T) {
+	s := sim.NewScheduler()
+	var pkts [][]byte
+	snd, err := alf.NewSender(s, func(p []byte) error {
+		pkts = append(pkts, append([]byte(nil), p...))
+		return nil
+	}, alf.Config{MTU: 128 + alf.HeaderSize, FECGroup: 2, Key: 5, StreamID: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd.Send(0xBEEF, xcode.SyntaxRaw, make([]byte, 300))
+
+	var data, parity int
+	for _, p := range pkts {
+		line := Describe(ALF, p)
+		switch {
+		case strings.Contains(line, "PARITY"):
+			parity++
+		case strings.Contains(line, "DATA"):
+			data++
+			if !strings.Contains(line, "stream=9") || !strings.Contains(line, "tag=0xbeef") {
+				t.Errorf("data line missing fields: %q", line)
+			}
+			if !strings.Contains(line, "enc") {
+				t.Errorf("enciphered flag not shown: %q", line)
+			}
+		}
+	}
+	if data != 3 || parity == 0 {
+		t.Errorf("described %d data, %d parity fragments", data, parity)
+	}
+}
+
+func TestDescribeALFControlAndHB(t *testing.T) {
+	// Generate a real control message via a receiver.
+	s := sim.NewScheduler()
+	var ctrl []byte
+	rcv, _ := alf.NewReceiver(s, func(p []byte) error {
+		ctrl = append([]byte(nil), p...)
+		return nil
+	}, alf.Config{NackInterval: time.Millisecond})
+	snd, _ := alf.NewSender(s, func(p []byte) error {
+		rcv.HandlePacket(p)
+		return nil
+	}, alf.Config{NackInterval: time.Millisecond})
+	snd.Send(0, xcode.SyntaxRaw, []byte{1, 2, 3})
+	s.RunUntil(sim.Time(10 * time.Millisecond))
+
+	if ctrl == nil {
+		t.Fatal("no control message captured")
+	}
+	line := Describe(ALF, ctrl)
+	if !strings.Contains(line, "CTRL") || !strings.Contains(line, "cum=1") {
+		t.Errorf("control line: %q", line)
+	}
+}
+
+func TestDescribeOTP(t *testing.T) {
+	s := sim.NewScheduler()
+	var seg []byte
+	conn := otp.New(s, func(p []byte) error {
+		if seg == nil {
+			seg = append([]byte(nil), p...)
+		}
+		return nil
+	}, otp.Config{ConnID: 4})
+	conn.Send(make([]byte, 100))
+	line := Describe(OTP, seg)
+	if !strings.Contains(line, "DATA") || !strings.Contains(line, "conn=4") ||
+		!strings.Contains(line, "len=100") {
+		t.Errorf("otp line: %q", line)
+	}
+}
+
+func TestDescribeNeverPanics(t *testing.T) {
+	f := func(pkt []byte) bool {
+		Describe(ALF, pkt)
+		Describe(OTP, pkt)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoggerEndToEnd(t *testing.T) {
+	s := sim.NewScheduler()
+	n := netsim.New(s, 1)
+	a := n.NewNode("a")
+	b := n.NewNode("b")
+	ab, ba := n.NewDuplex(a, b, netsim.LinkConfig{Delay: time.Millisecond})
+
+	var buf bytes.Buffer
+	lg := New(&buf, s)
+	snd, _ := alf.NewSender(s, lg.WrapSend("snd", ALF, ab.Send), alf.Config{})
+	rcv, _ := alf.NewReceiver(s, lg.WrapSend("rcv", ALF, ba.Send), alf.Config{})
+	a.SetHandler(lg.WrapHandler("snd", ALF, func(p *netsim.Packet) { snd.HandleControl(p.Payload) }))
+	b.SetHandler(lg.WrapHandler("rcv", ALF, func(p *netsim.Packet) { rcv.HandlePacket(p.Payload) }))
+
+	snd.Send(0, xcode.SyntaxRaw, make([]byte, 100))
+	s.Run()
+
+	out := buf.String()
+	if !strings.Contains(out, "-> snd") || !strings.Contains(out, "<- rcv") {
+		t.Errorf("directions missing:\n%s", out)
+	}
+	if !strings.Contains(out, "DATA") || !strings.Contains(out, "CTRL") {
+		t.Errorf("protocol lines missing:\n%s", out)
+	}
+	if lg.Lines == 0 {
+		t.Error("no lines counted")
+	}
+}
+
+func TestLoggerLimit(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, sim.NewScheduler())
+	lg.Limit = 2
+	send := lg.WrapSend("x", ALF, func([]byte) error { return nil })
+	for i := 0; i < 5; i++ {
+		send([]byte{1})
+	}
+	out := buf.String()
+	if strings.Count(out, "\n") != 3 { // 2 lines + truncation notice
+		t.Errorf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "truncated") {
+		t.Error("no truncation notice")
+	}
+}
