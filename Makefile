@@ -1,0 +1,26 @@
+# Standard loops for the alfnet reproduction. Everything is pure Go
+# stdlib; no tags, no generated code.
+
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The packages with real concurrency: the metrics registry is the only
+# code meant to be hit from multiple goroutines, and parallel hosts the
+# worker-pool dispatch experiment.
+race:
+	$(GO) test -race ./internal/metrics ./internal/core ./internal/otp ./internal/parallel
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./internal/metrics
+
+check: build vet test race

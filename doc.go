@@ -8,8 +8,19 @@
 // data-manipulation kernels, and the applications (file transfer,
 // video, RPC, parallel receivers) the paper motivates.
 //
+// Every layer also reports into a unified metrics registry
+// (internal/metrics): nil-safe atomic counters, gauges, and
+// log-bucketed histograms driven by the simulator's virtual clock, so
+// any run's full metric tree — fragments, NACKs, head-of-line stall
+// times, per-link drops, ADU latency distributions — is deterministic
+// for a given seed and renderable as one table.
+//
 // The root package holds the benchmark suite (bench_test.go), one
 // benchmark per table or figure in DESIGN.md. The library lives under
-// internal/; runnable demos live under examples/; the experiment
-// harness is cmd/alfbench.
+// internal/; runnable demos live under examples/. Three commands ship
+// with it: cmd/alfbench regenerates the paper's tables and figures,
+// cmd/alfstat runs a measured ALF-vs-ordered-transport scenario and
+// prints the metric tree, and cmd/alftrace decodes a simulated run
+// packet by packet. docs/ARCHITECTURE.md maps every package to the
+// paper section it reproduces.
 package repro

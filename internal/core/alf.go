@@ -40,6 +40,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/xcode"
 )
@@ -156,6 +157,12 @@ type Config struct {
 	// retransmission round trip. Zero disables FEC. The bandwidth
 	// overhead is 1/FECGroup.
 	FECGroup int
+	// Metrics, if non-nil, registers this endpoint's event counters
+	// (views over Sender.Stats/Receiver.Stats), buffer gauges, ADU
+	// size histograms, and the receiver's ADU-latency histogram with
+	// the unified registry, labeled stream=<StreamID>. A nil registry
+	// costs one branch per event (see internal/metrics).
+	Metrics *metrics.Registry
 }
 
 func (c *Config) fill() {

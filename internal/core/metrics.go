@@ -1,0 +1,112 @@
+package alf
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// This file wires both stream endpoints into the unified metrics
+// registry (internal/metrics). The pre-existing SenderStats and
+// ReceiverStats structs remain the storage for event counts — tests
+// and examples read them directly — and are exposed through the
+// registry as func-backed series, so the struct and the registry can
+// never disagree. Signals the structs cannot carry (distributions,
+// instantaneous depths) are native registry instruments. With a nil
+// registry every instrument below is nil and each observation costs
+// one nil-check branch (see internal/metrics).
+
+// senderMetrics holds the sender's native instruments.
+type senderMetrics struct {
+	// aduBytes is the distribution of ADU payload sizes submitted by
+	// the application — the paper's §5 "ADU lengths should be
+	// reasonably bounded" made measurable.
+	aduBytes *metrics.Histogram
+	// ilpBytes counts payload bytes pushed through the fused
+	// encrypt/copy/checksum pass — the sender's share of the §4
+	// "data manipulation" cost, in bytes touched.
+	ilpBytes *metrics.Counter
+}
+
+// bindSenderMetrics registers the sender's series, labeled by stream.
+func bindSenderMetrics(r *metrics.Registry, s *Sender) senderMetrics {
+	lb := fmt.Sprintf("stream=%d", s.cfg.StreamID)
+	st := &s.Stats
+	for _, c := range []struct {
+		name string
+		fn   func() int64
+	}{
+		{"core.send.adus", func() int64 { return st.ADUs }},
+		{"core.send.fragments", func() int64 { return st.Fragments }},
+		{"core.send.frag_bytes", func() int64 { return st.Bytes }},
+		{"core.send.resent_adus", func() int64 { return st.ResentADUs }},
+		{"core.send.recompute_adus", func() int64 { return st.RecomputeADUs }},
+		{"core.send.resent_frags", func() int64 { return st.ResentFrags }},
+		{"core.send.unfilled_nacks", func() int64 { return st.UnfilledNacks }},
+		{"core.send.released", func() int64 { return st.Released }},
+		{"core.send.ctrl_received", func() int64 { return st.CtrlReceived }},
+		{"core.send.ctrl_dropped", func() int64 { return st.CtrlDropped }},
+		{"core.send.heartbeats", func() int64 { return st.Heartbeats }},
+		{"core.send.parity_frags", func() int64 { return st.ParityFrags }},
+	} {
+		r.CounterFunc(c.name, c.fn, lb)
+	}
+	r.GaugeFunc("core.send.buffered_bytes", func() int64 { return int64(s.bufBytes) }, lb)
+	r.GaugeFunc("core.send.buffered_adus", func() int64 { return int64(len(s.buffered)) }, lb)
+	return senderMetrics{
+		aduBytes: r.Histogram("core.send.adu_bytes", lb),
+		ilpBytes: r.Counter("core.send.ilp_pass_bytes", lb),
+	}
+}
+
+// recvMetrics holds the receiver's native instruments.
+type recvMetrics struct {
+	// aduLatency is the virtual-time distribution from an ADU's first
+	// fragment arriving to its verified delivery — reassembly plus any
+	// recovery rounds, and exactly the latency ALF's out-of-order
+	// delivery keeps independent per ADU (§5).
+	aduLatency *metrics.Histogram
+	// aduBytes is the distribution of delivered ADU sizes.
+	aduBytes *metrics.Histogram
+	// ilpBytes counts payload bytes through the fused stage-one pass
+	// (place + decrypt + checksum) — the receiver's §4 manipulation
+	// cost in bytes touched.
+	ilpBytes *metrics.Counter
+}
+
+// bindReceiverMetrics registers the receiver's series, labeled by
+// stream.
+func bindReceiverMetrics(r *metrics.Registry, rc *Receiver) recvMetrics {
+	lb := fmt.Sprintf("stream=%d", rc.cfg.StreamID)
+	st := &rc.Stats
+	for _, c := range []struct {
+		name string
+		fn   func() int64
+	}{
+		{"core.recv.fragments", func() int64 { return st.Fragments }},
+		{"core.recv.frag_bytes", func() int64 { return st.FragmentBytes }},
+		{"core.recv.header_drops", func() int64 { return st.HeaderDrops }},
+		{"core.recv.dup_fragments", func() int64 { return st.DupFragments }},
+		{"core.recv.late_fragments", func() int64 { return st.LateFragments }},
+		{"core.recv.inconsistent", func() int64 { return st.Inconsistent }},
+		{"core.recv.too_large", func() int64 { return st.TooLarge }},
+		{"core.recv.adus_delivered", func() int64 { return st.ADUsDelivered }},
+		{"core.recv.adus_lost", func() int64 { return st.ADUsLost }},
+		{"core.recv.out_of_order", func() int64 { return st.OutOfOrder }},
+		{"core.recv.checksum_fails", func() int64 { return st.ChecksumFails }},
+		{"core.recv.nacks_sent", func() int64 { return st.NacksSent }},
+		{"core.recv.ctrl_sent", func() int64 { return st.CtrlSent }},
+		{"core.recv.heartbeats", func() int64 { return st.Heartbeats }},
+		{"core.recv.parity_frags", func() int64 { return st.ParityFrags }},
+		{"core.recv.fec_recovered", func() int64 { return st.FECRecovered }},
+	} {
+		r.CounterFunc(c.name, c.fn, lb)
+	}
+	r.GaugeFunc("core.recv.pending_adus", func() int64 { return int64(len(rc.partials)) }, lb)
+	r.GaugeFunc("core.recv.settled", func() int64 { return int64(rc.cum) }, lb)
+	return recvMetrics{
+		aduLatency: r.Histogram("core.recv.adu_latency_ns", lb),
+		aduBytes:   r.Histogram("core.recv.adu_bytes", lb),
+		ilpBytes:   r.Counter("core.recv.ilp_pass_bytes", lb),
+	}
+}

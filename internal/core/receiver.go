@@ -93,6 +93,8 @@ type Receiver struct {
 
 	scan *sim.Timer
 
+	m recvMetrics
+
 	Stats ReceiverStats
 }
 
@@ -113,6 +115,7 @@ func NewReceiver(sched *sim.Scheduler, send func([]byte) error, cfg Config) (*Re
 		resolved: make(map[uint64]bool),
 	}
 	r.scan = sched.NewTimer(r.onScan)
+	r.m = bindReceiverMetrics(cfg.Metrics, r)
 	return r, nil
 }
 
@@ -220,6 +223,7 @@ func (r *Receiver) placeFragment(name uint64, p *partial, off int, payload []byt
 		p.sum += ilp.FusedCopySum(p.buf[off:off+len(payload)], payload)
 	}
 	p.gotBytes += len(payload)
+	r.m.ilpBytes.Add(int64(len(payload)))
 }
 
 // groupStart returns the FEC group start offset for a fragment offset.
@@ -370,6 +374,8 @@ func (r *Receiver) complete(name uint64, p *partial) {
 	}
 	r.settle(name)
 	r.Stats.ADUsDelivered++
+	r.m.aduLatency.ObserveDuration(r.sched.Now().Sub(p.firstSeen))
+	r.m.aduBytes.Observe(int64(p.total))
 	if r.OnADU != nil {
 		r.OnADU(ADU{Name: name, Tag: p.tag, Syntax: p.syntax, Data: p.buf})
 	}

@@ -64,6 +64,8 @@ type Sender struct {
 	hbMisses    int
 	emittedNext uint64
 
+	m senderMetrics
+
 	Stats SenderStats
 }
 
@@ -81,6 +83,7 @@ func NewSender(sched *sim.Scheduler, send func([]byte) error, cfg Config) (*Send
 		buffered: make(map[uint64]*savedADU),
 	}
 	s.hb = sched.NewTimer(s.onHeartbeat)
+	s.m = bindSenderMetrics(cfg.Metrics, s)
 	return s, nil
 }
 
@@ -148,6 +151,8 @@ func (s *Sender) Send(tag uint64, syntax xcode.SyntaxID, data []byte) (uint64, e
 
 	s.nextName++
 	s.Stats.ADUs++
+	s.m.aduBytes.Observe(int64(len(data)))
+	s.m.ilpBytes.Add(int64(len(wire)))
 	s.transmitADU(name, tag, syntax, wire, ck, false)
 	if !s.hb.Active() {
 		s.hb.Reset(s.cfg.HeartbeatInterval)
@@ -339,6 +344,7 @@ func (s *Sender) resend(name uint64) {
 			ck = checksum.Sum16(data)
 		}
 		s.Stats.RecomputeADUs++
+		s.m.ilpBytes.Add(int64(len(wire)))
 		s.transmitADU(name, tag, syntax, wire, ck, true)
 	case NoRetransmit:
 		// Receivers on NoRetransmit streams do not NACK; ignore any

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// This file publishes the wall-clock kernel measurements into the
+// unified metrics registry, so cmd/alfstat can print the paper's §4
+// cost model — control cost per packet vs manipulation cost per byte,
+// and bytes touched per pass under layered vs integrated processing —
+// in the same table as the simulation counters.
+
+// RunControlInto measures the §4 per-packet split for one packet size
+// and records it: transfer control is (nearly) size-independent, the
+// data manipulation pass is cycles per byte.
+func RunControlInto(r *metrics.Registry, packetBytes int, minTime time.Duration) ControlReport {
+	c := RunControl(packetBytes, minTime)
+	lb := fmt.Sprintf("pkt_bytes=%d", packetBytes)
+	r.Gauge("experiments.control_ns", lb).Set(int64(c.ControlNs))
+	r.Gauge("experiments.manipulation_ns", lb).Set(int64(c.ManipulationNs))
+	return c
+}
+
+// RunPipelineInto measures the F5/A1 stage pipelines and records, for
+// each stage depth, the bytes a receive of bufBytes touches under the
+// two engineering styles: the layered design pays one full memory pass
+// per stage, the integrated loop touches each byte once regardless of
+// depth (§6).
+func RunPipelineInto(r *metrics.Registry, bufBytes int, minTime time.Duration) PipelineReport {
+	p := RunPipeline(bufBytes, minTime)
+	for k := 1; k <= 5; k++ {
+		lb := fmt.Sprintf("stages=%d", k)
+		r.Gauge("experiments.pipeline.pass_bytes", lb, "path=layered").Set(int64(k * bufBytes))
+		r.Gauge("experiments.pipeline.pass_bytes", lb, "path=fused").Set(int64(bufBytes))
+		r.Gauge("experiments.pipeline.rate_kbps", lb, "path=layered").Set(int64(p.LayeredMbps[k] * 1e3))
+		r.Gauge("experiments.pipeline.rate_kbps", lb, "path=fused").Set(int64(p.FusedMbps[k] * 1e3))
+	}
+	return p
+}

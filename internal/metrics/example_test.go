@@ -1,0 +1,58 @@
+package metrics_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Example shows the full register → observe → snapshot cycle: native
+// instruments for new measurements, a func-backed series bridging an
+// existing stats struct, and a point-in-time snapshot read.
+func Example() {
+	reg := metrics.New()
+
+	// Native instruments: atomic, safe for concurrent observers.
+	frags := reg.Counter("core.send.fragments", "stream=1")
+	depth := reg.Gauge("netsim.link.queue_depth", "link=a->b/0")
+	lat := reg.Histogram("core.recv.adu_latency_ns", "stream=1")
+
+	frags.Add(3)
+	depth.Set(2)
+	lat.ObserveDuration(4 * time.Millisecond)
+	lat.ObserveDuration(6 * time.Millisecond)
+
+	// A func-backed series bridges existing state (a Stats field, a
+	// queue length) into the registry; it is sampled at snapshot time.
+	legacy := struct{ Resends int64 }{Resends: 7}
+	reg.CounterFunc("core.send.resent_adus", func() int64 { return legacy.Resends }, "stream=1")
+
+	snap := reg.Snapshot()
+	fmt.Println("fragments =", snap.Value("core.send.fragments", "stream=1"))
+	fmt.Println("resends   =", snap.Value("core.send.resent_adus", "stream=1"))
+	m, _ := snap.Get("core.recv.adu_latency_ns", "stream=1")
+	fmt.Printf("latency   = n=%d mean=%s\n", m.Hist.Count, time.Duration(int64(m.Hist.Mean())))
+	// Output:
+	// fragments = 3
+	// resends   = 7
+	// latency   = n=2 mean=5ms
+}
+
+// ExampleHistogram_Observe shows log-bucketed size accounting: buckets
+// double in width, so four ADU sizes land in three buckets.
+func ExampleHistogram_Observe() {
+	reg := metrics.New()
+	sizes := reg.Histogram("core.send.adu_bytes")
+	for _, n := range []int64{100, 120, 300, 5000} {
+		sizes.Observe(n)
+	}
+	m, _ := reg.Snapshot().Get("core.send.adu_bytes")
+	for _, b := range m.Hist.Buckets {
+		fmt.Printf("[%d,%d] %d\n", b.Lo, b.Hi, b.Count)
+	}
+	// Output:
+	// [64,127] 2
+	// [256,511] 1
+	// [4096,8191] 1
+}

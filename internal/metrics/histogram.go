@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers the full non-negative int64 range in powers of
+// two: bucket 0 holds values <= 0, bucket i (1..63) holds values in
+// [2^(i-1), 2^i - 1], with the top bucket capped at MaxInt64.
+const numBuckets = 64
+
+// Histogram is a fixed-size log2-bucketed histogram of int64
+// observations — latencies in nanoseconds, ADU and segment sizes in
+// bytes. Log bucketing gives ~2x relative resolution over 18 decimal
+// orders of magnitude in 65 atomic slots, with no configuration and no
+// allocation per observation. All methods are no-ops on a nil
+// receiver; observation is safe for concurrent use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketBounds returns the inclusive [lo, hi] value range of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return math.MinInt64, 0
+	}
+	lo = int64(1) << (i - 1)
+	if i == 63 {
+		return lo, math.MaxInt64
+	}
+	return lo, int64(1)<<i - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds. Callers in the
+// simulation derive d from the virtual clock, keeping snapshots
+// deterministic.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// snapshot captures the histogram's current state. Concurrent
+// observers may land between field loads; the capture is internally
+// plausible (count matches bucket totals read) once writers quiesce,
+// which is the snapshot contract the simulation needs.
+func (h *Histogram) snapshot() *HistogramValue {
+	hv := &HistogramValue{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+	}
+	if hv.Count > 0 {
+		hv.Min = h.min.Load()
+		hv.Max = h.max.Load()
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			lo, hi := bucketBounds(i)
+			hv.Buckets = append(hv.Buckets, Bucket{Lo: lo, Hi: hi, Count: n})
+		}
+	}
+	return hv
+}
+
+// Bucket is one populated histogram bucket; the value range [Lo, Hi]
+// is inclusive.
+type Bucket struct {
+	Lo, Hi int64
+	Count  int64
+}
+
+// HistogramValue is the immutable state of a histogram inside a
+// Snapshot.
+type HistogramValue struct {
+	Count, Sum int64
+	Min, Max   int64
+	Buckets    []Bucket // populated buckets only, ascending
+}
+
+// Mean returns the arithmetic mean of the observations, or 0 when
+// empty.
+func (hv *HistogramValue) Mean() float64 {
+	if hv.Count == 0 {
+		return 0
+	}
+	return float64(hv.Sum) / float64(hv.Count)
+}
+
+// Quantile returns an estimate of the q-th quantile (0 <= q <= 1): the
+// upper bound of the bucket containing the q-th ranked observation,
+// clamped to the observed min/max. Within-bucket error is bounded by
+// the 2x bucket width.
+func (hv *HistogramValue) Quantile(q float64) int64 {
+	if hv.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(hv.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range hv.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			hi := b.Hi
+			if hi > hv.Max {
+				hi = hv.Max
+			}
+			if hi < hv.Min {
+				hi = hv.Min
+			}
+			return hi
+		}
+	}
+	return hv.Max
+}

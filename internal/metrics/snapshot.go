@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Metric is one series captured in a Snapshot.
+type Metric struct {
+	Name   string
+	Labels []string // sorted "key=value" pairs
+	Kind   Kind
+	Value  int64           // counter/gauge value
+	Hist   *HistogramValue // non-nil for KindHistogram
+}
+
+// ID returns the full series identity: name plus labels.
+func (m *Metric) ID() string {
+	if len(m.Labels) == 0 {
+		return m.Name
+	}
+	return m.Name + "{" + strings.Join(m.Labels, ",") + "}"
+}
+
+// Snapshot is a point-in-time capture of every series in a registry,
+// sorted by series identity. Once taken it is immutable: later
+// instrument updates do not affect it.
+type Snapshot struct {
+	Metrics []Metric
+}
+
+// Snapshot captures the current value of every series. Func-backed
+// series are sampled now. On a nil registry it returns an empty
+// snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	entries := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		entries = append(entries, s)
+	}
+	r.mu.Unlock()
+
+	for _, s := range entries {
+		m := Metric{Name: s.name, Labels: s.labels, Kind: s.kind}
+		switch {
+		case s.fn != nil:
+			m.Value = s.fn()
+		case s.counter != nil:
+			m.Value = s.counter.Value()
+		case s.gauge != nil:
+			m.Value = s.gauge.Value()
+		case s.hist != nil:
+			m.Hist = s.hist.snapshot()
+		}
+		snap.Metrics = append(snap.Metrics, m)
+	}
+	sort.Slice(snap.Metrics, func(i, j int) bool {
+		return snap.Metrics[i].ID() < snap.Metrics[j].ID()
+	})
+	return snap
+}
+
+// Get returns the captured metric for (name, labels), if present.
+func (s *Snapshot) Get(name string, labels ...string) (Metric, bool) {
+	k, _ := key(name, labels)
+	for i := range s.Metrics {
+		if s.Metrics[i].ID() == k {
+			return s.Metrics[i], true
+		}
+	}
+	return Metric{}, false
+}
+
+// Value returns the captured counter/gauge value for (name, labels),
+// or 0 when absent.
+func (s *Snapshot) Value(name string, labels ...string) int64 {
+	m, ok := s.Get(name, labels...)
+	if !ok {
+		return 0
+	}
+	return m.Value
+}
+
+// formatValue renders a value using the unit convention carried in the
+// series name suffix: "_ns" values render as durations, everything
+// else as a plain integer.
+func formatValue(name string, v int64) string {
+	if strings.HasSuffix(name, "_ns") {
+		return time.Duration(v).String()
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// histLine renders a histogram summary on one line.
+func histLine(name string, hv *HistogramValue) string {
+	if hv.Count == 0 {
+		return "n=0"
+	}
+	f := func(v int64) string { return formatValue(name, v) }
+	return fmt.Sprintf("n=%d min=%s mean=%s p50=%s p95=%s p99=%s max=%s",
+		hv.Count, f(hv.Min), f(int64(hv.Mean())), f(hv.Quantile(0.50)),
+		f(hv.Quantile(0.95)), f(hv.Quantile(0.99)), f(hv.Max))
+}
+
+// WriteText renders the snapshot as an aligned plain-text table, one
+// row per series, with populated histogram buckets indented beneath
+// their summary row (bars scale to the largest bucket).
+func (s *Snapshot) WriteText(w io.Writer) error {
+	nameW, kindW := len("metric"), len("type")
+	for i := range s.Metrics {
+		if n := len(s.Metrics[i].ID()); n > nameW {
+			nameW = n
+		}
+		if n := len(s.Metrics[i].Kind.String()); n > kindW {
+			kindW = n
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %-*s  %s\n", nameW, "metric", kindW, "type", "value"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %s  %s\n",
+		strings.Repeat("-", nameW), strings.Repeat("-", kindW), strings.Repeat("-", len("value"))); err != nil {
+		return err
+	}
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		var val string
+		if m.Kind == KindHistogram {
+			val = histLine(m.Name, m.Hist)
+		} else {
+			val = formatValue(m.Name, m.Value)
+		}
+		if _, err := fmt.Fprintf(w, "%-*s  %-*s  %s\n", nameW, m.ID(), kindW, m.Kind.String(), val); err != nil {
+			return err
+		}
+		if m.Kind == KindHistogram && m.Hist.Count > 0 {
+			if err := writeBuckets(w, m.Name, m.Hist); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeBuckets renders the populated buckets of one histogram.
+func writeBuckets(w io.Writer, name string, hv *HistogramValue) error {
+	var maxN int64
+	for _, b := range hv.Buckets {
+		if b.Count > maxN {
+			maxN = b.Count
+		}
+	}
+	for _, b := range hv.Buckets {
+		lo := b.Lo
+		if lo < 0 {
+			lo = 0 // the <=0 bucket; render its floor as 0
+		}
+		bar := strings.Repeat("#", int(1+b.Count*24/maxN))
+		if _, err := fmt.Fprintf(w, "    [%12s, %12s]  %8d  %s\n",
+			formatValue(name, lo), formatValue(name, b.Hi), b.Count, bar); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the snapshot as WriteText does.
+func (s *Snapshot) String() string {
+	var b strings.Builder
+	_ = s.WriteText(&b)
+	return b.String()
+}

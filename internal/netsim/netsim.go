@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -50,9 +51,30 @@ var ErrNoHandler = errors.New("netsim: node has no handler")
 // Network owns the nodes and links of one simulated topology, all driven
 // by a single scheduler and RNG.
 type Network struct {
-	Sched *sim.Scheduler
-	Rand  *sim.Rand
-	nodes []*Node
+	Sched   *sim.Scheduler
+	Rand    *sim.Rand
+	nodes   []*Node
+	links   []*Link
+	metrics *metrics.Registry
+}
+
+// SetMetrics binds the whole topology to the unified registry: every
+// existing and future link registers its counters (views over
+// Link.Stats: traffic, drops by cause, delivered bytes) and a
+// queue-depth gauge, and every node its undelivered-packet counters.
+// Call with nil to stop registering new elements (already-registered
+// series remain).
+func (n *Network) SetMetrics(r *metrics.Registry) {
+	n.metrics = r
+	if r == nil {
+		return
+	}
+	for _, nd := range n.nodes {
+		nd.bindMetrics(r)
+	}
+	for i, l := range n.links {
+		l.bindMetrics(r, i)
+	}
 }
 
 // New creates an empty network on sched with a RNG seeded by seed.
@@ -64,6 +86,9 @@ func New(sched *sim.Scheduler, seed int64) *Network {
 func (n *Network) NewNode(name string) *Node {
 	node := &Node{net: n, id: NodeID(len(n.nodes)), name: name}
 	n.nodes = append(n.nodes, node)
+	if n.metrics != nil {
+		node.bindMetrics(n.metrics)
+	}
 	return node
 }
 
@@ -73,8 +98,17 @@ type Node struct {
 	id      NodeID
 	name    string
 	handler Handler
-	// Undelivered counts packets that arrived with no handler set.
-	Undelivered int64
+	// Undelivered counts packets that arrived with no handler set;
+	// UndeliveredBytes is their payload volume.
+	Undelivered      int64
+	UndeliveredBytes int64
+}
+
+// bindMetrics registers the node's series with the unified registry.
+func (nd *Node) bindMetrics(r *metrics.Registry) {
+	lb := fmt.Sprintf("node=%d:%s", nd.id, nd.name)
+	r.CounterFunc("netsim.node.undelivered", func() int64 { return nd.Undelivered }, lb)
+	r.CounterFunc("netsim.node.undelivered_bytes", func() int64 { return nd.UndeliveredBytes }, lb)
 }
 
 // ID returns the node's network-unique identifier.
@@ -89,6 +123,7 @@ func (nd *Node) SetHandler(h Handler) { nd.handler = h }
 func (nd *Node) deliver(p *Packet) {
 	if nd.handler == nil {
 		nd.Undelivered++
+		nd.UndeliveredBytes += int64(len(p.Payload))
 		return
 	}
 	nd.handler(p)
@@ -136,15 +171,16 @@ type LinkConfig struct {
 
 // LinkStats counts link events for assertions and experiment reports.
 type LinkStats struct {
-	Sent       int64 // packets accepted by Send
-	SentBytes  int64
-	Delivered  int64 // packets handed to the destination node
-	QueueDrops int64 // drop-tail losses
-	LineLosses int64 // impairment losses (random + burst)
-	Dups       int64
-	Reordered  int64
-	Corrupted  int64
-	Rejected   int64 // oversize sends
+	Sent           int64 // packets accepted by Send
+	SentBytes      int64
+	Delivered      int64 // packets handed to the destination node
+	DeliveredBytes int64
+	QueueDrops     int64 // drop-tail losses
+	LineLosses     int64 // impairment losses (random + burst)
+	Dups           int64
+	Reordered      int64
+	Corrupted      int64
+	Rejected       int64 // oversize sends
 }
 
 // Link is a unidirectional point-to-point pipe.
@@ -165,7 +201,38 @@ func (n *Network) NewLink(from, to *Node, cfg LinkConfig) *Link {
 	if from.net != n || to.net != n {
 		panic("netsim: nodes belong to a different network")
 	}
-	return &Link{net: n, from: from, to: to, cfg: cfg}
+	l := &Link{net: n, from: from, to: to, cfg: cfg}
+	n.links = append(n.links, l)
+	if n.metrics != nil {
+		l.bindMetrics(n.metrics, len(n.links)-1)
+	}
+	return l
+}
+
+// bindMetrics registers the link's series. The label carries the
+// endpoint names plus the link's creation index, which keeps parallel
+// links between the same pair distinct.
+func (l *Link) bindMetrics(r *metrics.Registry, idx int) {
+	lb := fmt.Sprintf("link=%s->%s/%d", l.from.name, l.to.name, idx)
+	st := &l.Stats
+	for _, e := range []struct {
+		name string
+		fn   func() int64
+	}{
+		{"netsim.link.sent", func() int64 { return st.Sent }},
+		{"netsim.link.sent_bytes", func() int64 { return st.SentBytes }},
+		{"netsim.link.delivered", func() int64 { return st.Delivered }},
+		{"netsim.link.delivered_bytes", func() int64 { return st.DeliveredBytes }},
+		{"netsim.link.queue_drops", func() int64 { return st.QueueDrops }},
+		{"netsim.link.line_losses", func() int64 { return st.LineLosses }},
+		{"netsim.link.dups", func() int64 { return st.Dups }},
+		{"netsim.link.reordered", func() int64 { return st.Reordered }},
+		{"netsim.link.corrupted", func() int64 { return st.Corrupted }},
+		{"netsim.link.rejected", func() int64 { return st.Rejected }},
+	} {
+		r.CounterFunc(e.name, e.fn, lb)
+	}
+	r.GaugeFunc("netsim.link.queue_depth", func() int64 { return int64(l.queued) }, lb)
 }
 
 // NewDuplex creates a pair of links with the same configuration,
@@ -279,6 +346,7 @@ func maxDur(a, b sim.Duration) sim.Duration {
 func (l *Link) schedDeliver(pkt *Packet, delay sim.Duration) {
 	l.net.Sched.After(delay, func() {
 		l.Stats.Delivered++
+		l.Stats.DeliveredBytes += int64(len(pkt.Payload))
 		l.to.deliver(pkt)
 	})
 }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/checksum"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -78,6 +79,17 @@ type Config struct {
 	AckDelay sim.Duration
 	// FastRetransmit enables retransmission on three duplicate ACKs.
 	FastRetransmit bool
+	// Metrics, if non-nil, registers this connection's event counters
+	// (views over Conn.Stats), window gauges, the segment-size
+	// histogram, and the head-of-line stall-time histogram with the
+	// unified registry, labeled conn=<ConnID>.
+	Metrics *metrics.Registry
+	// MetricsLabels are extra "k=v" labels for this connection's
+	// series. Both endpoints of a connection share a ConnID, so when
+	// both register into one registry, each needs a distinguishing
+	// label (e.g. "role=snd" / "role=rcv") or the later registration
+	// replaces the earlier one's views.
+	MetricsLabels []string
 }
 
 func (c *Config) fill() {
@@ -165,6 +177,14 @@ type Conn struct {
 	ackTimer *sim.Timer
 	ackOwed  bool
 
+	// Head-of-line stall accounting: a stall opens when the first
+	// segment is buffered ahead of a gap and closes when the gap fills
+	// and the buffer drains (§5's in-order delivery cost).
+	stalled    bool
+	stallStart sim.Time
+
+	m connMetrics
+
 	Stats Stats
 }
 
@@ -185,6 +205,7 @@ func New(sched *sim.Scheduler, send func([]byte) error, cfg Config) *Conn {
 	}
 	c.rtoTimer = sched.NewTimer(c.onTimeout)
 	c.ackTimer = sched.NewTimer(c.flushAck)
+	c.m = bindConnMetrics(cfg.Metrics, c)
 	return c
 }
 
@@ -257,6 +278,7 @@ func (c *Conn) pump() {
 func (c *Conn) transmit(seq int64, payload []byte, isRetx bool) {
 	seg := c.makeSegment(flagData|flagAck, seq, payload)
 	c.Stats.SegmentsSent++
+	c.m.segBytes.Observe(int64(len(payload)))
 	if isRetx {
 		c.Stats.Retransmits++
 	} else {
@@ -495,6 +517,11 @@ func (c *Conn) handleData(seq int64, payload []byte) {
 			return
 		}
 		c.Stats.OutOfOrder++
+		if !c.stalled {
+			// First data held back by a gap: head-of-line stall opens.
+			c.stalled = true
+			c.stallStart = c.sched.Now()
+		}
 		c.ooo[seq] = append([]byte(nil), payload...)
 		c.oooBytes += len(payload)
 		c.scheduleAck()
@@ -520,6 +547,12 @@ func (c *Conn) handleData(seq int64, payload []byte) {
 			}
 			progressed = true
 		}
+	}
+	if c.stalled && len(c.ooo) == 0 {
+		// The gap closed and everything behind it flushed: the
+		// head-of-line stall ends.
+		c.stalled = false
+		c.m.holStall.ObserveDuration(c.sched.Now().Sub(c.stallStart))
 	}
 	c.scheduleAck()
 }

@@ -1,0 +1,32 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ExampleSample_Percentile tails a latency-like distribution: 100
+// observations of 1 unit plus a handful of stragglers. The median and
+// p90 sit in the bulk; p99 exposes the tail, interpolated between the
+// closest ranks.
+func ExampleSample_Percentile() {
+	var s stats.Sample
+	for i := 0; i < 100; i++ {
+		s.Add(1)
+	}
+	for _, straggler := range []float64{10, 20, 40} {
+		s.Add(straggler)
+	}
+
+	fmt.Printf("n=%d mean=%.2f\n", s.N(), s.Mean())
+	for _, p := range []float64{50, 90, 99, 100} {
+		fmt.Printf("p%g=%.1f\n", p, s.Percentile(p))
+	}
+	// Output:
+	// n=103 mean=1.65
+	// p50=1.0
+	// p90=1.0
+	// p99=19.8
+	// p100=40.0
+}
