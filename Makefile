@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench fuzz soak check
 
 build:
 	$(GO) build ./...
@@ -23,4 +23,16 @@ vet:
 bench:
 	$(GO) test -bench . -benchmem ./internal/metrics
 
-check: build vet test race
+# Native fuzzers over the ALF wire formats. The budget is deliberately
+# small so check stays fast; raise FUZZTIME for a real session.
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzHandlePacket$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzHandleControl$$' -fuzztime $(FUZZTIME) ./internal/core
+
+# One seeded chaos pass: every scenario x policy plus the blackout
+# shed/report assertions, deterministic for the checked-in seeds.
+soak:
+	$(GO) test -run 'TestScenarioMatrix|TestBlackoutShedsAndReports|TestDeterminism' -v ./internal/faults/soak
+
+check: build vet test race fuzz soak

@@ -1,0 +1,150 @@
+// Command alfchaos runs a named fault-injection scenario
+// (internal/faults) against the ALF stack and the ordered-transport
+// baseline sharing one simulated topology (internal/faults/soak), then
+// prints the invariant summary and the full unified metric tree.
+//
+// The run is deterministic: (scenario, seed, duration, policy) fully
+// determine the traffic, the fault schedule, and every loss. A clean
+// run exits 0; any invariant violation is printed and exits 1, so the
+// command doubles as a scriptable chaos gate.
+//
+// Usage:
+//
+//	alfchaos -scenario blackout              # trunk dark for a third of the run
+//	alfchaos -scenario flap -seed 7          # asymmetric forward-path flapping
+//	alfchaos -scenario random -duration 10s  # seeded random fault composition
+//	alfchaos -all                            # every preset x every policy
+//	alfchaos -scenario partition -hold       # down trunk parks packets instead
+//
+// Scenarios: flap, blackout, degrade, partition, random.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	alf "repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/faults/soak"
+	"repro/internal/metrics"
+)
+
+var (
+	flagScenario = flag.String("scenario", "random", "fault scenario: flap, blackout, degrade, partition, random")
+	flagSeed     = flag.Int64("seed", 1, "simulation seed (traffic, impairments, fault schedule)")
+	flagDuration = flag.Duration("duration", 3*time.Second, "virtual horizon; faults heal by ~2/3 of it")
+	flagPolicy   = flag.String("policy", "sender-buffered", "ALF recovery policy: sender-buffered, app-recompute, no-retransmit")
+	flagADUs     = flag.Int("adus", 60, "ADUs submitted over the first 2/3 of the horizon")
+	flagADU      = flag.Int("adu", 3000, "bytes per ADU")
+	flagOTP      = flag.Int("otpbytes", 120_000, "OTP stream volume, bytes")
+	flagHold     = flag.Bool("hold", false, "down trunk parks packets (HoldOnDown) instead of dropping")
+	flagAll      = flag.Bool("all", false, "run every scenario x policy combination (summary only)")
+	flagTree     = flag.Bool("tree", true, "print the unified metric tree after the summary")
+)
+
+func main() {
+	flag.Parse()
+	if *flagAll {
+		os.Exit(runAll())
+	}
+	os.Exit(runOne(*flagScenario, *flagPolicy, true))
+}
+
+// runOne executes a single scenario and prints its report. verbose
+// additionally prints the metric tree (if -tree).
+func runOne(scenario, policyName string, verbose bool) int {
+	policy, err := parsePolicy(policyName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
+		return 2
+	}
+	reg := metrics.New()
+	res, err := soak.Run(soak.Config{
+		Seed:       *flagSeed,
+		Scenario:   scenario,
+		Duration:   *flagDuration,
+		Policy:     policy,
+		ADUs:       *flagADUs,
+		ADUBytes:   *flagADU,
+		OTPBytes:   *flagOTP,
+		HoldOnDown: *flagHold,
+		Metrics:    reg,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
+		return 2
+	}
+
+	printSummary(res)
+	if verbose && *flagTree {
+		fmt.Println()
+		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
+			return 2
+		}
+	}
+	if !res.Passed() {
+		return 1
+	}
+	return 0
+}
+
+// runAll sweeps every preset against every policy, summary lines only.
+func runAll() int {
+	exit := 0
+	for _, scenario := range faults.ScenarioNames {
+		for _, policy := range []alf.Policy{alf.SenderBuffered, alf.AppRecompute, alf.NoRetransmit} {
+			if code := runOne(scenario, policy.String(), false); code > exit {
+				exit = code
+			}
+			fmt.Println()
+		}
+	}
+	return exit
+}
+
+// printSummary renders the invariant report of one run.
+func printSummary(res *soak.Result) {
+	fmt.Printf("chaos: scenario %s, seed %d, horizon %v, policy %s\n",
+		res.Scenario, res.Seed, res.Horizon, res.Policy)
+	fmt.Printf("faults: %d down events, %d heals, %d flap cycles, %d blackouts, %d degrades, %d partitions\n",
+		res.Faults.DownEvents, res.Faults.Heals, res.Faults.FlapCycles,
+		res.Faults.Blackouts, res.Faults.Degrades, res.Faults.Partitions)
+	fmt.Printf("trunk: %d packets dropped down, %d parked and replayed\n",
+		res.TrunkDownDrops, res.TrunkHeld)
+	fmt.Printf("alf: %d/%d ADUs delivered, %d reported lost, %d expired at sender, "+
+		"%d resent, %d recomputed, %d unfilled NACKs\n",
+		res.Delivered, res.Submitted, res.Lost, res.Expired,
+		res.ResentADUs, res.RecomputeADUs, res.UnfilledNacks)
+	fmt.Printf("alf: peak retention %d B, peak reassembly %d ADUs\n",
+		res.PeakRetention, res.PeakReassembly)
+	dead := "alive"
+	if res.OTPDead {
+		dead = "declared dead"
+	}
+	fmt.Printf("otp: %d/%d B delivered, %s (%d timeouts, %d retransmits)\n",
+		res.OTPDelivered, res.OTPSent, dead, res.OTPTimeouts, res.OTPRetransmits)
+	fmt.Printf("drain: quiescent at %v after %d post-horizon events\n",
+		res.EndVirtual, res.DrainEvents)
+
+	if res.Passed() {
+		fmt.Println("invariants: all held (exactly-once accounting, no corruption, bounded state, clean drain)")
+		return
+	}
+	fmt.Printf("invariants: %d VIOLATED\n", len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Printf("  ! %s\n", v)
+	}
+}
+
+// parsePolicy maps the flag to an ALF policy.
+func parsePolicy(s string) (alf.Policy, error) {
+	for _, p := range []alf.Policy{alf.SenderBuffered, alf.AppRecompute, alf.NoRetransmit} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown policy %q", s)
+}

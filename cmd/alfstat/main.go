@@ -39,6 +39,7 @@ import (
 
 	alf "repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/otp"
@@ -61,6 +62,7 @@ var (
 	flagKernels = flag.Bool("kernels", true, "measure the wall-clock §4 kernels (control vs manipulation)")
 	flagQuick   = flag.Bool("quick", false, "shorter kernel timing budgets")
 	flagIngest  = flag.String("ingest", "", "CSV file from `alfbench -csv` to fold into the tree (\"-\" = stdin)")
+	flagOutage  = flag.Duration("outage", 0, "black out every data link for this long, 100ms into the run (0 = none)")
 )
 
 func main() {
@@ -193,6 +195,14 @@ func runScenario(reg *metrics.Registry) (string, error) {
 		}
 	}
 
+	// An optional blackout over every link in the scenario: the summary
+	// and the netsim.link.down_drops series then separate outage losses
+	// from queue drops and line losses.
+	if *flagOutage > 0 {
+		inj := faults.New(sched, *flagSeed)
+		inj.Blackout(net.Links(), 100*time.Millisecond, *flagOutage)
+	}
+
 	if err := sched.RunUntil(sim.Time(0).Add(5 * time.Minute)); err != nil {
 		return "", err
 	}
@@ -218,6 +228,16 @@ func runScenario(reg *metrics.Registry) (string, error) {
 	if *flagOTP {
 		fmt.Fprintf(&b, "otp: delivered %d/%d B in %v\n", otpBytes, total, otpDone)
 	}
+	// Per-cause loss budget across every link: outage drops are a
+	// different failure than congestion or line noise.
+	var downDrops, queueDrops, lineLosses int64
+	for _, l := range net.Links() {
+		downDrops += l.Stats.DownDrops
+		queueDrops += l.Stats.QueueDrops
+		lineLosses += l.Stats.LineLosses
+	}
+	fmt.Fprintf(&b, "drops: %d down-link, %d queue, %d line\n",
+		downDrops, queueDrops, lineLosses)
 	return b.String(), nil
 }
 

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func ingestString(t *testing.T, csv string) *metrics.Snapshot {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.csv")
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	if err := ingest(reg, path); err != nil {
+		t.Fatal(err)
+	}
+	return reg.Snapshot()
+}
+
+func TestIngestWellFormed(t *testing.T) {
+	snap := ingestString(t, `
+# E2: copy+checksum — fused vs separate
+size,separate ms,fused ms
+4096,1.5,0.75
+65536,12.25,6
+
+# Recovery: policy comparison
+policy,goodput Mbps
+sender-buffered,41.5
+`)
+	cases := []struct {
+		name, row string
+		want      int64
+	}{
+		{"alfbench.e2.separate_ms_milli", "row=4096", 1500},
+		{"alfbench.e2.fused_ms_milli", "row=4096", 750},
+		{"alfbench.e2.separate_ms_milli", "row=65536", 12250},
+		{"alfbench.e2.fused_ms_milli", "row=65536", 6000},
+		{"alfbench.recovery.goodput_mbps_milli", "row=sender-buffered", 41500},
+	}
+	for _, c := range cases {
+		if _, ok := snap.Get(c.name, c.row); !ok {
+			t.Errorf("missing %s{%s}", c.name, c.row)
+			continue
+		}
+		if got := snap.Value(c.name, c.row); got != c.want {
+			t.Errorf("%s{%s} = %d, want %d", c.name, c.row, got, c.want)
+		}
+	}
+	if len(snap.Metrics) != len(cases) {
+		t.Errorf("ingested %d series, want %d: %v", len(snap.Metrics), len(cases), snap.Metrics)
+	}
+}
+
+func TestIngestEmpty(t *testing.T) {
+	snap := ingestString(t, "")
+	if len(snap.Metrics) != 0 {
+		t.Errorf("empty input produced %d series", len(snap.Metrics))
+	}
+}
+
+func TestIngestMalformed(t *testing.T) {
+	// Rows before any section title, non-numeric cells, ragged rows
+	// with more cells than the header, and a section with a title but
+	// no data must all be skipped without error or bogus series.
+	snap := ingestString(t, `
+orphan,1,2
+
+# E2: copy+checksum
+size,thru
+4096,not-a-number
+8192,3.5,99,100
+# Empty: nothing follows
+col_a,col_b
+`)
+	if _, ok := snap.Get("alfbench.e2.thru_milli", "row=8192"); !ok {
+		t.Error("valid cell of ragged row not ingested")
+	}
+	if got := snap.Value("alfbench.e2.thru_milli", "row=8192"); got != 3500 {
+		t.Errorf("value = %d, want 3500", got)
+	}
+	if len(snap.Metrics) != 1 {
+		t.Errorf("malformed input produced %d series, want 1: %v",
+			len(snap.Metrics), snap.Metrics)
+	}
+}
+
+func TestIngestMissingFile(t *testing.T) {
+	if err := ingest(metrics.New(), filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"E2":                "e2",
+		"  Copy/Checksum  ": "copy_checksum",
+		"goodput Mbps":      "goodput_mbps",
+		"résumé!":           "rsum",
+		"a_b-c.d":           "a_b-c.d",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -140,10 +140,26 @@ type Config struct {
 	// the stream while deliveries are unconfirmed, so a receiver can
 	// detect tail loss (default = NackInterval).
 	HeartbeatInterval sim.Duration
+	// HeartbeatMaxInterval caps the heartbeat backoff: during silence
+	// (consecutive heartbeats with no receiver progress) the interval
+	// doubles from HeartbeatInterval up to this cap, with deterministic
+	// ±25% jitter so a fleet of streams does not probe a healing path in
+	// lockstep (default max(1s, HeartbeatInterval)).
+	HeartbeatMaxInterval sim.Duration
 	// HeartbeatLimit bounds consecutive heartbeats without receiver
 	// progress before the sender stops trying (default 200). It exists
-	// so a dead path eventually goes quiet.
+	// so a dead path eventually goes quiet. With backoff, 200 misses
+	// against a 1 s cap means a dead path is probed for minutes, not
+	// seconds, before the sender gives up.
 	HeartbeatLimit int
+	// ADUDeadline, when non-zero, bounds how long a SenderBuffered
+	// stream retains an unconfirmed ADU: past the deadline the copy is
+	// shed (OnExpire, then OnRelease) and later NACKs for it go
+	// unfilled. This is the give-up point that keeps sender retention
+	// bounded during a sustained blackout — the application decided how
+	// stale its data may usefully be (§5). Zero retains until the
+	// receiver confirms or BufferLimit pushes back.
+	ADUDeadline sim.Duration
 	// NameWindow bounds how far ahead of the settled frontier an
 	// arriving ADU name may claim to be (default 1<<20). Headers are
 	// protected by a 16-bit checksum, so one in ~65k corrupted headers
@@ -192,6 +208,12 @@ func (c *Config) fill() {
 	}
 	if c.HeartbeatInterval == 0 {
 		c.HeartbeatInterval = c.NackInterval
+	}
+	if c.HeartbeatMaxInterval == 0 {
+		c.HeartbeatMaxInterval = time.Second
+		if c.HeartbeatInterval > c.HeartbeatMaxInterval {
+			c.HeartbeatMaxInterval = c.HeartbeatInterval
+		}
 	}
 	if c.HeartbeatLimit == 0 {
 		c.HeartbeatLimit = 200

@@ -44,6 +44,7 @@ func bindSenderMetrics(r *metrics.Registry, s *Sender) senderMetrics {
 		{"core.send.resent_frags", func() int64 { return st.ResentFrags }},
 		{"core.send.unfilled_nacks", func() int64 { return st.UnfilledNacks }},
 		{"core.send.released", func() int64 { return st.Released }},
+		{"core.send.deadline_drops", func() int64 { return st.DeadlineDrops }},
 		{"core.send.ctrl_received", func() int64 { return st.CtrlReceived }},
 		{"core.send.ctrl_dropped", func() int64 { return st.CtrlDropped }},
 		{"core.send.heartbeats", func() int64 { return st.Heartbeats }},
@@ -103,6 +104,7 @@ func bindReceiverMetrics(r *metrics.Registry, rc *Receiver) recvMetrics {
 		r.CounterFunc(c.name, c.fn, lb)
 	}
 	r.GaugeFunc("core.recv.pending_adus", func() int64 { return int64(len(rc.partials)) }, lb)
+	r.GaugeFunc("core.recv.missing_adus", func() int64 { return int64(len(rc.missings)) }, lb)
 	r.GaugeFunc("core.recv.settled", func() int64 { return int64(rc.cum) }, lb)
 	return recvMetrics{
 		aduLatency: r.Histogram("core.recv.adu_latency_ns", lb),

@@ -2,6 +2,7 @@ package alf
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/ilp"
 	"repro/internal/scramble"
@@ -128,6 +129,12 @@ func (r *Receiver) Settled() uint64 { return r.cum }
 
 // Pending returns the number of ADUs currently under reassembly.
 func (r *Receiver) Pending() int { return len(r.partials) }
+
+// Missing returns the number of wholly-unseen ADU names currently
+// tracked as gaps. Together with Pending it bounds the receiver's
+// recovery state; soak tests assert both return to zero after faults
+// heal.
+func (r *Receiver) Missing() int { return len(r.missings) }
 
 // HandlePacket processes one arriving wire packet (DATA fragment or
 // heartbeat; CTRL is ignored here — control flows to the Sender).
@@ -411,25 +418,41 @@ func (r *Receiver) onScan() {
 		}
 	}
 
-	// Wholly-missing names.
-	for name, m := range r.missings {
-		age := now.Sub(m.noticed)
-		switch {
-		case r.cfg.Policy == NoRetransmit || m.nacks >= r.cfg.MaxNacks:
-			if age >= r.cfg.HoldTime {
-				delete(r.missings, name)
-				giveUp(name)
-			}
-		case nackDue(now, m.noticed, m.lastNack, m.nacks, r.cfg.NackDelay):
-			if len(nacks) < maxNacksPerMsg {
-				nacks = append(nacks, name)
-				m.nacks++
-				m.lastNack = now
-			}
-		}
+	// Scan in ascending name order, not map order: which names fit under
+	// maxNacksPerMsg and the order recovery requests reach the sender
+	// both feed back into the simulation (and the shared network RNG
+	// draw sequence), so map iteration would make runs with identical
+	// seeds diverge. Oldest names first is also the useful priority —
+	// they gate the settle frontier.
+	names := make([]uint64, 0, len(r.missings)+len(r.partials))
+	for name := range r.missings {
+		names = append(names, name)
 	}
-	// Incomplete partials.
-	for name, p := range r.partials {
+	for name := range r.partials {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	for _, name := range names {
+		// A name is in exactly one of the two maps (the first fragment
+		// deletes it from missings).
+		if m, ok := r.missings[name]; ok {
+			age := now.Sub(m.noticed)
+			switch {
+			case r.cfg.Policy == NoRetransmit || m.nacks >= r.cfg.MaxNacks:
+				if age >= r.cfg.HoldTime {
+					delete(r.missings, name)
+					giveUp(name)
+				}
+			case nackDue(now, m.noticed, m.lastNack, m.nacks, r.cfg.NackDelay):
+				if len(nacks) < maxNacksPerMsg {
+					nacks = append(nacks, name)
+					m.nacks++
+					m.lastNack = now
+				}
+			}
+			continue
+		}
+		p := r.partials[name]
 		age := now.Sub(p.firstSeen)
 		switch {
 		case r.cfg.Policy == NoRetransmit || p.nacks >= r.cfg.MaxNacks:

@@ -19,6 +19,7 @@ type SenderStats struct {
 	ResentFrags   int64
 	UnfilledNacks int64 // NACKs we could not satisfy
 	Released      int64 // buffered ADUs freed by cumulative acks
+	DeadlineDrops int64 // buffered ADUs shed by ADUDeadline, unconfirmed
 	CtrlReceived  int64
 	CtrlDropped   int64 // corrupt control messages
 	Heartbeats    int64
@@ -32,6 +33,7 @@ type savedADU struct {
 	syntax xcode.SyntaxID
 	wire   []byte
 	check  uint16
+	sentAt sim.Time // submission time, for the ADUDeadline sweep
 }
 
 // Sender is the sending half of an ALF stream.
@@ -48,6 +50,11 @@ type Sender struct {
 	// OnRelease, if set, is told when retention of a buffered ADU ends
 	// (delivery confirmed or given up by the receiver).
 	OnRelease func(name uint64)
+	// OnExpire, if set, is told when ADUDeadline sheds a still-
+	// unconfirmed ADU: the transport can no longer recover it, and the
+	// application decides what that means (recompute later, log, skip).
+	// OnRelease follows for the same name.
+	OnExpire func(name uint64)
 
 	nextName  uint64
 	buffered  map[uint64]*savedADU
@@ -63,6 +70,11 @@ type Sender struct {
 	lastCum     uint64
 	hbMisses    int
 	emittedNext uint64
+	jitter      uint64 // deterministic LCG state for heartbeat jitter
+
+	// retire sweeps ADUDeadline-expired retention; armed only while
+	// ADUs are buffered and a deadline is configured.
+	retire *sim.Timer
 
 	m senderMetrics
 
@@ -83,6 +95,10 @@ func NewSender(sched *sim.Scheduler, send func([]byte) error, cfg Config) (*Send
 		buffered: make(map[uint64]*savedADU),
 	}
 	s.hb = sched.NewTimer(s.onHeartbeat)
+	s.retire = sched.NewTimer(s.onRetire)
+	// Seed the jitter stream from the config so runs stay deterministic
+	// and streams sharing a node desynchronize.
+	s.jitter = uint64(cfg.StreamID)*0x9E3779B97F4A7C15 ^ cfg.Key ^ 0xD1B54A32D192ED03
 	s.m = bindSenderMetrics(cfg.Metrics, s)
 	return s, nil
 }
@@ -98,7 +114,72 @@ func (s *Sender) onHeartbeat() {
 		s.Stats.Heartbeats++
 		_ = s.send(encodeHeartbeat(s.cfg.StreamID, s.emittedNext))
 	}
-	s.hb.Reset(s.cfg.HeartbeatInterval)
+	s.hb.Reset(s.hbInterval())
+}
+
+// hbSilentMisses is how many consecutive unanswered heartbeats count
+// as "silence": below it the heartbeat keeps its plain configured
+// cadence (transient stalls on a healthy path are left alone); from it
+// onward the interval doubles every two further misses up to
+// HeartbeatMaxInterval, with ±25% jitter.
+const hbSilentMisses = 4
+
+// hbInterval returns the next heartbeat delay. During a blackout this
+// decays the probe rate instead of hammering a dead path at the data-
+// plane NACK cadence; the jitter keeps recovering streams from
+// re-probing in phase.
+func (s *Sender) hbInterval() sim.Duration {
+	iv := s.cfg.HeartbeatInterval
+	if s.hbMisses < hbSilentMisses {
+		return iv
+	}
+	max := s.cfg.HeartbeatMaxInterval
+	for i := (s.hbMisses - hbSilentMisses) / 2; i > 0 && iv < max; i-- {
+		iv *= 2
+	}
+	if iv > max {
+		iv = max
+	}
+	// xorshift step; low bits of the advanced state give the jitter.
+	s.jitter ^= s.jitter << 13
+	s.jitter ^= s.jitter >> 7
+	s.jitter ^= s.jitter << 17
+	span := int64(iv) / 2
+	if span <= 0 {
+		return iv
+	}
+	return iv*3/4 + sim.Duration(int64(s.jitter>>1)%span)
+}
+
+// onRetire sheds retention past the ADUDeadline and re-arms for the
+// next earliest expiry.
+func (s *Sender) onRetire() {
+	if s.cfg.ADUDeadline <= 0 {
+		return
+	}
+	now := s.sched.Now()
+	var next sim.Time = -1
+	for name, saved := range s.buffered {
+		due := saved.sentAt.Add(s.cfg.ADUDeadline)
+		if due <= now {
+			s.bufBytes -= len(saved.wire)
+			delete(s.buffered, name)
+			s.Stats.DeadlineDrops++
+			if s.OnExpire != nil {
+				s.OnExpire(name)
+			}
+			if s.OnRelease != nil {
+				s.OnRelease(name)
+			}
+			continue
+		}
+		if next < 0 || due < next {
+			next = due
+		}
+	}
+	if next >= 0 {
+		s.retire.Reset(next.Sub(now))
+	}
 }
 
 // Config returns the effective configuration.
@@ -145,8 +226,11 @@ func (s *Sender) Send(tag uint64, syntax xcode.SyntaxID, data []byte) (uint64, e
 		if s.bufBytes+len(wire) > s.cfg.BufferLimit {
 			return 0, fmt.Errorf("%w: %d retained", ErrBufferLimit, s.bufBytes)
 		}
-		s.buffered[name] = &savedADU{tag: tag, syntax: syntax, wire: wire, check: ck}
+		s.buffered[name] = &savedADU{tag: tag, syntax: syntax, wire: wire, check: ck, sentAt: s.sched.Now()}
 		s.bufBytes += len(wire)
+		if s.cfg.ADUDeadline > 0 && !s.retire.Active() {
+			s.retire.Reset(s.cfg.ADUDeadline)
+		}
 	}
 
 	s.nextName++

@@ -1,0 +1,267 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// rig is a minimal two-node topology with a duplex link.
+type rig struct {
+	sched    *sim.Scheduler
+	net      *netsim.Network
+	a, b     *netsim.Node
+	ab, ba   *netsim.Link
+	arrived  int
+	inj      *Injector
+	arriveAt []sim.Time
+}
+
+func newRig(t *testing.T, cfg netsim.LinkConfig) *rig {
+	t.Helper()
+	s := sim.NewScheduler()
+	n := netsim.New(s, 1)
+	a := n.NewNode("a")
+	b := n.NewNode("b")
+	ab, ba := n.NewDuplex(a, b, cfg)
+	r := &rig{sched: s, net: n, a: a, b: b, ab: ab, ba: ba, inj: New(s, 42)}
+	b.SetHandler(func(*netsim.Packet) {
+		r.arrived++
+		r.arriveAt = append(r.arriveAt, s.Now())
+	})
+	return r
+}
+
+func (r *rig) sendAt(d sim.Duration) {
+	r.sched.After(d, func() { r.ab.Send([]byte("x")) })
+}
+
+func TestBlackoutWindow(t *testing.T) {
+	r := newRig(t, netsim.LinkConfig{Delay: time.Millisecond})
+	r.inj.Blackout([]*netsim.Link{r.ab}, 100*time.Millisecond, 200*time.Millisecond)
+	r.sendAt(50 * time.Millisecond)  // before: delivered
+	r.sendAt(200 * time.Millisecond) // during: dropped
+	r.sendAt(400 * time.Millisecond) // after heal: delivered
+	r.sched.Run()
+	if r.arrived != 2 {
+		t.Errorf("arrived = %d, want 2", r.arrived)
+	}
+	if r.ab.Stats.DownDrops != 1 {
+		t.Errorf("DownDrops = %d, want 1", r.ab.Stats.DownDrops)
+	}
+	st := r.inj.Stats
+	if st.Blackouts != 1 || st.DownEvents != 1 || st.Heals != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if r.inj.Active() {
+		t.Error("injector still active after heal")
+	}
+}
+
+func TestFlapCycles(t *testing.T) {
+	r := newRig(t, netsim.LinkConfig{Delay: time.Millisecond})
+	const cycles = 5
+	r.inj.Flap([]*netsim.Link{r.ab}, 10*time.Millisecond,
+		5*time.Millisecond, 15*time.Millisecond, cycles)
+	// One send per millisecond across the flapping span.
+	for i := 0; i < 150; i++ {
+		r.sendAt(sim.Duration(i) * time.Millisecond)
+	}
+	r.sched.Run()
+	st := r.inj.Stats
+	if st.FlapCycles != cycles || st.DownEvents != cycles || st.Heals != cycles {
+		t.Errorf("stats = %+v, want %d cycles", st, cycles)
+	}
+	// 5 cycles x 5ms down at 1 send/ms: about 25 sends die.
+	if r.ab.Stats.DownDrops < 20 || r.ab.Stats.DownDrops > 30 {
+		t.Errorf("DownDrops = %d, want ~25", r.ab.Stats.DownDrops)
+	}
+	if r.arrived != 150-int(r.ab.Stats.DownDrops) {
+		t.Errorf("arrived = %d, drops = %d", r.arrived, r.ab.Stats.DownDrops)
+	}
+	if r.ab.Down() {
+		t.Error("link left down after final cycle")
+	}
+}
+
+func TestDegradeSwapsAndRestoresConfig(t *testing.T) {
+	base := netsim.LinkConfig{Delay: time.Millisecond}
+	r := newRig(t, base)
+	r.inj.Degrade([]*netsim.Link{r.ab}, func(cfg netsim.LinkConfig) netsim.LinkConfig {
+		cfg.LossProb = 1 // certain loss: observable without statistics
+		return cfg
+	}, 100*time.Millisecond, 100*time.Millisecond)
+	r.sendAt(50 * time.Millisecond)  // before: delivered
+	r.sendAt(150 * time.Millisecond) // during: lost
+	r.sendAt(300 * time.Millisecond) // after restore: delivered
+	r.sched.Run()
+	if r.arrived != 2 {
+		t.Errorf("arrived = %d, want 2", r.arrived)
+	}
+	if r.ab.Stats.LineLosses != 1 {
+		t.Errorf("LineLosses = %d, want 1", r.ab.Stats.LineLosses)
+	}
+	if got := r.ab.Config(); got != base {
+		t.Errorf("config not restored: %+v", got)
+	}
+	if r.inj.Stats.Degrades != 1 || r.inj.Stats.Restores != 1 {
+		t.Errorf("stats = %+v", r.inj.Stats)
+	}
+	if r.inj.Active() {
+		t.Error("injector active after restore")
+	}
+}
+
+func TestPartitionSeversCutSet(t *testing.T) {
+	s := sim.NewScheduler()
+	n := netsim.New(s, 1)
+	a := n.NewNode("a")
+	rt := n.NewRouter("r")
+	b := n.NewNode("b")
+	aR, rA := n.NewDuplex(a, rt.Node, netsim.LinkConfig{Delay: time.Millisecond})
+	rB, bR := n.NewDuplex(rt.Node, b, netsim.LinkConfig{Delay: time.Millisecond})
+	rt.AddRoute(b, rB)
+	rt.AddRoute(a, rA)
+	_ = bR
+
+	got := 0
+	b.SetHandler(func(*netsim.Packet) { got++ })
+
+	inj := New(s, 7)
+	inj.Partition(n, []*netsim.Node{a, rt.Node}, []*netsim.Node{b},
+		100*time.Millisecond, 100*time.Millisecond)
+
+	send := func(at sim.Duration) {
+		s.After(at, func() { netsim.SendVia(aR, b, []byte("x")) })
+	}
+	send(50 * time.Millisecond)  // through
+	send(150 * time.Millisecond) // severed at the r->b hop
+	send(300 * time.Millisecond) // healed
+	s.Run()
+
+	if got != 2 {
+		t.Errorf("delivered = %d, want 2", got)
+	}
+	// Only the r<->b pair is the cut set; the a<->r pair must stay up.
+	if rB.Stats.DownDrops != 1 {
+		t.Errorf("cut-set DownDrops = %d, want 1", rB.Stats.DownDrops)
+	}
+	if aR.Stats.DownDrops != 0 {
+		t.Errorf("a->r dropped %d; it is not in the cut set", aR.Stats.DownDrops)
+	}
+	if inj.Stats.Partitions != 1 || inj.Stats.DownEvents != 2 || inj.Stats.Heals != 2 {
+		t.Errorf("stats = %+v", inj.Stats)
+	}
+}
+
+func TestOverlappingBlackoutsRefcount(t *testing.T) {
+	// Two windows: [100,300) and [200,400). The link must stay down
+	// until 400ms — the first heal releases a reference, not the link.
+	r := newRig(t, netsim.LinkConfig{Delay: time.Millisecond})
+	r.inj.Blackout([]*netsim.Link{r.ab}, 100*time.Millisecond, 200*time.Millisecond)
+	r.inj.Blackout([]*netsim.Link{r.ab}, 200*time.Millisecond, 200*time.Millisecond)
+	r.sendAt(350 * time.Millisecond) // inside the union: dropped
+	r.sendAt(450 * time.Millisecond) // after the union: delivered
+	r.sched.Run()
+	if r.arrived != 1 || r.ab.Stats.DownDrops != 1 {
+		t.Errorf("arrived = %d, DownDrops = %d", r.arrived, r.ab.Stats.DownDrops)
+	}
+	// One physical down/up pair despite two logical windows.
+	if r.inj.Stats.DownEvents != 1 || r.inj.Stats.Heals != 1 {
+		t.Errorf("stats = %+v", r.inj.Stats)
+	}
+}
+
+func TestOverlappingDegradesRestoreOriginal(t *testing.T) {
+	base := netsim.LinkConfig{Delay: time.Millisecond, LossProb: 0.01}
+	r := newRig(t, base)
+	raise := func(p float64) func(netsim.LinkConfig) netsim.LinkConfig {
+		return func(cfg netsim.LinkConfig) netsim.LinkConfig {
+			cfg.LossProb = p
+			return cfg
+		}
+	}
+	r.inj.Degrade([]*netsim.Link{r.ab}, raise(0.5), 100*time.Millisecond, 200*time.Millisecond)
+	r.inj.Degrade([]*netsim.Link{r.ab}, raise(0.9), 150*time.Millisecond, 100*time.Millisecond)
+	r.sched.After(200*time.Millisecond, func() {
+		if got := r.ab.Config().LossProb; got != 0.9 {
+			t.Errorf("inner degrade not applied: LossProb = %v", got)
+		}
+	})
+	r.sched.After(275*time.Millisecond, func() {
+		// The inner window ended but the outer still holds: original must
+		// not be back yet.
+		if got := r.ab.Config().LossProb; got == base.LossProb {
+			t.Error("original config restored while a degrade window still open")
+		}
+	})
+	r.sched.Run()
+	if got := r.ab.Config(); got != base {
+		t.Errorf("config after all windows = %+v, want original", got)
+	}
+	if r.inj.Stats.Restores != 1 {
+		t.Errorf("Restores = %d, want 1 (only the last window restores)", r.inj.Stats.Restores)
+	}
+}
+
+func TestPresetUnknownScenario(t *testing.T) {
+	r := newRig(t, netsim.LinkConfig{})
+	if err := r.inj.Preset("meteor", Targets{}, time.Second); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestPresetsHealWithinHorizon(t *testing.T) {
+	for _, name := range ScenarioNames {
+		t.Run(name, func(t *testing.T) {
+			r := newRig(t, netsim.LinkConfig{Delay: time.Millisecond})
+			tg := Targets{
+				Net:     r.net,
+				Trunk:   []*netsim.Link{r.ab, r.ba},
+				Forward: []*netsim.Link{r.ab},
+				GroupA:  []*netsim.Node{r.a},
+				GroupB:  []*netsim.Node{r.b},
+			}
+			const horizon = 10 * time.Second
+			if err := r.inj.Preset(name, tg, horizon); err != nil {
+				t.Fatal(err)
+			}
+			r.sched.RunUntil(sim.Time(0).Add(horizon))
+			if r.inj.Active() {
+				t.Errorf("scenario %q left faults active at the horizon", name)
+			}
+			if r.ab.Down() || r.ba.Down() {
+				t.Errorf("scenario %q left a link down", name)
+			}
+			if got := r.ab.Config(); got != (netsim.LinkConfig{Delay: time.Millisecond}) {
+				t.Errorf("scenario %q left config %+v", name, got)
+			}
+		})
+	}
+}
+
+func TestRandomScheduleDeterminism(t *testing.T) {
+	run := func(seed int64) Stats {
+		r := newRig(t, netsim.LinkConfig{Delay: time.Millisecond})
+		r.inj = New(r.sched, seed)
+		tg := Targets{
+			Net:     r.net,
+			Trunk:   []*netsim.Link{r.ab, r.ba},
+			Forward: []*netsim.Link{r.ab},
+			GroupA:  []*netsim.Node{r.a},
+			GroupB:  []*netsim.Node{r.b},
+		}
+		r.inj.Preset("random", tg, 10*time.Second)
+		r.sched.RunUntil(sim.Time(0).Add(10 * time.Second))
+		return r.inj.Stats
+	}
+	if run(3) != run(3) {
+		t.Error("same seed produced different fault schedules")
+	}
+	a, b := run(3), run(4)
+	if a == b {
+		t.Logf("seeds 3 and 4 coincide (%+v); suspicious but not fatal", a)
+	}
+}

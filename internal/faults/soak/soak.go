@@ -1,0 +1,478 @@
+// Package soak is the chaos soak harness: it runs randomized fault
+// scenarios (internal/faults) against the ALF stack and the OTP
+// baseline sharing one faulty topology, and checks the delivery
+// invariants that must survive any fault schedule:
+//
+//   - Every ADU the application submits is delivered exactly once OR
+//     reported lost exactly once — never both, never neither — under
+//     all three recovery policies.
+//   - No corrupted payload is ever delivered (checksums hold under
+//     damage injected mid-fault).
+//   - Sender retention and receiver reassembly state stay bounded
+//     during a sustained blackout (ADUDeadline and hold-time give-ups
+//     do their jobs).
+//   - After the last fault heals, the event loop drains: no timer wheel
+//     left spinning, no recovery livelock (OTP's FailThreshold and
+//     ALF's heartbeat cap guarantee quiescence).
+//   - The OTP byte stream is delivered as an exact prefix of what was
+//     submitted; a connection that did not die delivers everything.
+//
+// A run is fully determined by (code, Config): the traffic, the fault
+// schedule, and every impairment derive from explicit seeds. The same
+// harness backs `go test` (soak_test.go) and cmd/alfchaos.
+package soak
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	alf "repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/otp"
+	"repro/internal/sim"
+	"repro/internal/xcode"
+)
+
+// Config parameterizes one soak run. Zero fields take defaults.
+type Config struct {
+	// Seed determines the run (impairments, fault schedule).
+	Seed int64
+	// Scenario names a faults.Preset (default "random").
+	Scenario string
+	// Duration is the virtual horizon; faults heal by ~2/3 of it and
+	// the tail is quiet for recovery (default 3 s).
+	Duration sim.Duration
+	// Policy is the ALF recovery policy under test (default
+	// SenderBuffered).
+	Policy alf.Policy
+	// ADUs and ADUBytes shape the ALF workload (defaults 60 x 3000 B),
+	// submitted at a steady rate over the first 2/3 of the horizon.
+	ADUs     int
+	ADUBytes int
+	// OTPBytes is the OTP stream volume (default 120 kB), submitted in
+	// 2 kB writes over the first 2/3 of the horizon.
+	OTPBytes int
+	// HoldOnDown selects netsim.HoldOnDown for the trunk (default:
+	// DropOnDown) — the same invariants must hold either way.
+	HoldOnDown bool
+	// Metrics, if non-nil, wires every layer of the rig into the
+	// registry so a caller (cmd/alfchaos) can print the full tree.
+	Metrics *metrics.Registry
+}
+
+func (c *Config) fill() {
+	if c.Scenario == "" {
+		c.Scenario = "random"
+	}
+	if c.Duration == 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.Policy == 0 {
+		c.Policy = alf.SenderBuffered
+	}
+	if c.ADUs == 0 {
+		c.ADUs = 60
+	}
+	if c.ADUBytes == 0 {
+		c.ADUBytes = 3000
+	}
+	if c.OTPBytes == 0 {
+		c.OTPBytes = 120_000
+	}
+}
+
+// Result reports one soak run. Violations empty means every invariant
+// held.
+type Result struct {
+	Scenario string
+	Seed     int64
+	Policy   alf.Policy
+	Horizon  sim.Duration
+
+	// ALF accounting.
+	Submitted     int
+	Delivered     int
+	Lost          int
+	Expired       int64 // sender-side ADUDeadline sheds
+	ResentADUs    int64
+	RecomputeADUs int64
+	UnfilledNacks int64
+
+	// OTP accounting.
+	OTPSent        int64
+	OTPDelivered   int64
+	OTPDead        bool
+	OTPTimeouts    int64
+	OTPRetransmits int64
+
+	// Invariant evidence.
+	PeakRetention  int // bytes retained by the ALF sender, max over run
+	PeakReassembly int // partial ADUs at the ALF receiver, max over run
+	DrainEvents    uint64
+	EndVirtual     sim.Time
+	Faults         faults.Stats
+	TrunkDownDrops int64
+	TrunkHeld      int64
+
+	Violations []string
+}
+
+// Passed reports whether every invariant held.
+func (r *Result) Passed() bool { return len(r.Violations) == 0 }
+
+func (r *Result) violatef(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// aduPayload is the deterministic per-name payload pattern; delivery
+// verifies against it byte for byte, so any corruption or cross-ADU
+// mixup is caught without storing submitted copies.
+func aduPayload(name uint64, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(uint64(i)*167 + name*59 + 13)
+	}
+	return b
+}
+
+// aduTag is the deterministic tag for an ADU name.
+func aduTag(name uint64) uint64 { return name*2654435761 + 7 }
+
+// otpByte is the deterministic OTP stream pattern at offset off.
+func otpByte(off int64) byte { return byte(off*37>>3) ^ byte(off) }
+
+// Run executes one soak scenario to quiescence and returns the
+// invariant report. It errors only on harness misconfiguration; fault
+// consequences are Violations, not errors.
+func Run(cfg Config) (*Result, error) {
+	cfg.fill()
+	res := &Result{Scenario: cfg.Scenario, Seed: cfg.Seed,
+		Policy: cfg.Policy, Horizon: cfg.Duration}
+
+	// ---- Topology: two sources and two sinks joined by a lossy trunk.
+	//
+	//	alf-src ─┐                       ┌─ alf-dst
+	//	         ├─ rL ═════ trunk ═════ rR ─┤
+	//	otp-src ─┘     (faults here)     └─ otp-dst
+	//
+	// Access links are clean and fast; every fault and impairment lives
+	// on the shared trunk, the cut set between the left and right
+	// groups.
+	s := sim.NewScheduler()
+	net := netsim.New(s, cfg.Seed)
+	alfSrc := net.NewNode("alf-src")
+	otpSrc := net.NewNode("otp-src")
+	alfDst := net.NewNode("alf-dst")
+	otpDst := net.NewNode("otp-dst")
+	rL := net.NewRouter("rL")
+	rR := net.NewRouter("rR")
+
+	access := netsim.LinkConfig{RateBps: 100e6, Delay: 200 * time.Microsecond}
+	asL, lAs := net.NewDuplex(alfSrc, rL.Node, access)
+	osL, lOs := net.NewDuplex(otpSrc, rL.Node, access)
+	adR, rAd := net.NewDuplex(alfDst, rR.Node, access)
+	odR, rOd := net.NewDuplex(otpDst, rR.Node, access)
+
+	trunkCfg := netsim.LinkConfig{
+		RateBps: 8e6, Delay: 10 * time.Millisecond,
+		QueueLimit: 64, LossProb: 0.005,
+	}
+	if cfg.HoldOnDown {
+		trunkCfg.OnDown = netsim.HoldOnDown
+	}
+	lr, rl := net.NewDuplex(rL.Node, rR.Node, trunkCfg)
+
+	rL.AddRoute(alfDst, lr)
+	rL.AddRoute(otpDst, lr)
+	rL.AddRoute(alfSrc, lAs)
+	rL.AddRoute(otpSrc, lOs)
+	rR.AddRoute(alfSrc, rl)
+	rR.AddRoute(otpSrc, rl)
+	rR.AddRoute(alfDst, rAd)
+	rR.AddRoute(otpDst, rOd)
+
+	if cfg.Metrics != nil {
+		net.SetMetrics(cfg.Metrics)
+	}
+
+	// ---- ALF stream over the left/right path.
+	aCfg := alf.Config{
+		Policy:               cfg.Policy,
+		Key:                  0xA1F0_0000_0000_0001,
+		NackDelay:            10 * time.Millisecond,
+		NackInterval:         20 * time.Millisecond,
+		HoldTime:             600 * time.Millisecond,
+		MaxNacks:             6,
+		HeartbeatInterval:    25 * time.Millisecond,
+		HeartbeatMaxInterval: 250 * time.Millisecond,
+		// The sender must keep declaring extent well past any outage in
+		// the horizon; backoff caps the probe rate, the limit is only
+		// the truly-dead-path fuse.
+		HeartbeatLimit: 1 << 30,
+		ADUDeadline:    400 * time.Millisecond,
+		Metrics:        cfg.Metrics,
+	}
+	snd, err := alf.NewSender(s, func(p []byte) error {
+		return netsim.SendVia(asL, alfDst, p)
+	}, aCfg)
+	if err != nil {
+		return nil, err
+	}
+	rcv, err := alf.NewReceiver(s, func(p []byte) error {
+		return netsim.SendVia(adR, alfSrc, p)
+	}, aCfg)
+	if err != nil {
+		return nil, err
+	}
+	alfSrc.SetHandler(func(p *netsim.Packet) { snd.HandleControl(p.Payload) })
+	alfDst.SetHandler(func(p *netsim.Packet) { rcv.HandlePacket(p.Payload) })
+
+	delivered := make(map[uint64]int)
+	lost := make(map[uint64]int)
+	expired := make(map[uint64]int)
+	rcv.OnADU = func(adu alf.ADU) {
+		delivered[adu.Name]++
+		if adu.Tag != aduTag(adu.Name) {
+			res.violatef("alf: ADU %d delivered with tag %d, want %d",
+				adu.Name, adu.Tag, aduTag(adu.Name))
+		}
+		if !bytes.Equal(adu.Data, aduPayload(adu.Name, cfg.ADUBytes)) {
+			res.violatef("alf: ADU %d delivered corrupted", adu.Name)
+		}
+	}
+	rcv.OnLost = func(name uint64) { lost[name]++ }
+	snd.OnExpire = func(name uint64) { expired[name]++ }
+	snd.OnResend = func(name uint64) (uint64, xcode.SyntaxID, []byte, bool) {
+		// AppRecompute: regenerate from the pattern — always possible.
+		return aduTag(name), xcode.SyntaxRaw, aduPayload(name, cfg.ADUBytes), true
+	}
+
+	// ---- OTP connection over the same path.
+	oCfg := otp.Config{
+		MSS: 1000, FastRetransmit: true,
+		InitialRTO: 100 * time.Millisecond,
+		MinRTO:     50 * time.Millisecond,
+		MaxRTO:     time.Second,
+		// The connection-dead fuse: without it a blackout near the end
+		// of the horizon would leave the sender retrying at MaxRTO
+		// forever and the drain invariant could never hold.
+		FailThreshold: 8,
+		Metrics:       cfg.Metrics,
+		MetricsLabels: []string{"role=snd"},
+	}
+	oSnd := otp.New(s, func(p []byte) error {
+		return netsim.SendVia(osL, otpDst, p)
+	}, oCfg)
+	oRcvCfg := oCfg
+	oRcvCfg.MetricsLabels = []string{"role=rcv"}
+	oRcv := otp.New(s, func(p []byte) error {
+		return netsim.SendVia(odR, otpSrc, p)
+	}, oRcvCfg)
+	otpSrc.SetHandler(func(p *netsim.Packet) { oSnd.HandleSegment(p.Payload) })
+	otpDst.SetHandler(func(p *netsim.Packet) { oRcv.HandleSegment(p.Payload) })
+
+	var otpRecv int64
+	oRcv.OnData = func(d []byte) {
+		for i, b := range d {
+			if b != otpByte(otpRecv+int64(i)) {
+				res.violatef("otp: byte at offset %d corrupted", otpRecv+int64(i))
+				break
+			}
+		}
+		otpRecv += int64(len(d))
+	}
+
+	// ---- Workload: steady submission over the first 2/3 of the
+	// horizon, leaving a quiet tail for recovery.
+	submitWindow := cfg.Duration * 2 / 3
+	aduEvery := submitWindow / sim.Duration(cfg.ADUs)
+	if aduEvery <= 0 {
+		aduEvery = time.Microsecond // degenerate horizon: submit back to back
+	}
+	for i := 0; i < cfg.ADUs; i++ {
+		name := uint64(i)
+		s.After(sim.Duration(i)*aduEvery, func() {
+			if _, err := snd.Send(aduTag(name), xcode.SyntaxRaw,
+				aduPayload(name, cfg.ADUBytes)); err != nil {
+				res.violatef("alf: Send(%d) failed: %v", name, err)
+			}
+		})
+	}
+	res.Submitted = cfg.ADUs
+
+	const otpChunk = 2000
+	otpWrites := (cfg.OTPBytes + otpChunk - 1) / otpChunk
+	otpEvery := submitWindow / sim.Duration(otpWrites)
+	if otpEvery <= 0 {
+		otpEvery = time.Microsecond
+	}
+	var otpSent int64
+	for i := 0; i < otpWrites; i++ {
+		off := int64(i) * otpChunk
+		n := cfg.OTPBytes - i*otpChunk
+		if n > otpChunk {
+			n = otpChunk
+		}
+		chunk := make([]byte, n)
+		for j := range chunk {
+			chunk[j] = otpByte(off + int64(j))
+		}
+		s.After(sim.Duration(i)*otpEvery, func() {
+			if oSnd.Dead() {
+				return // submission stops at the app once the conn fails
+			}
+			if err := oSnd.Send(chunk); err != nil {
+				res.violatef("otp: Send at offset %d failed: %v", off, err)
+				return
+			}
+			otpSent += int64(n)
+		})
+	}
+
+	// ---- Fault schedule.
+	inj := faults.New(s, cfg.Seed^0x5eed)
+	if cfg.Metrics != nil {
+		inj.BindMetrics(cfg.Metrics)
+	}
+	targets := faults.Targets{
+		Net:     net,
+		Trunk:   []*netsim.Link{lr, rl},
+		Forward: []*netsim.Link{lr},
+		GroupA:  []*netsim.Node{alfSrc, otpSrc, rL.Node},
+		GroupB:  []*netsim.Node{alfDst, otpDst, rR.Node},
+	}
+	if err := inj.Preset(cfg.Scenario, targets, cfg.Duration); err != nil {
+		return nil, err
+	}
+
+	// ---- Boundedness sampler: peak sender retention and receiver
+	// reassembly, observed every 20 ms across the whole horizon.
+	var sample func()
+	sample = func() {
+		if b := snd.BufferedBytes(); b > res.PeakRetention {
+			res.PeakRetention = b
+		}
+		if p := rcv.Pending(); p > res.PeakReassembly {
+			res.PeakReassembly = p
+		}
+		if s.Now() < sim.Time(0).Add(cfg.Duration) {
+			s.After(20*time.Millisecond, sample)
+		}
+	}
+	sample()
+
+	// ---- Run to the horizon, then drain: after the last fault heals,
+	// the event loop must go quiet on its own. A bounded number of
+	// virtual seconds and events past the horizon covers legitimate
+	// tail work (hold-time give-ups, OTP's dead fuse at ~FailThreshold
+	// x MaxRTO); anything beyond that is a recovery livelock.
+	s.RunUntil(sim.Time(0).Add(cfg.Duration))
+	maxVirtual := sim.Time(0).Add(cfg.Duration + 15*time.Second)
+	firedAtHorizon := s.Fired()
+	const maxDrainEvents = 5_000_000
+	for s.Step() {
+		if s.Now() > maxVirtual {
+			res.violatef("livelock: events still firing at %v, %d past the horizon",
+				s.Now(), s.Fired()-firedAtHorizon)
+			break
+		}
+		if s.Fired()-firedAtHorizon > maxDrainEvents {
+			res.violatef("livelock: %d drain events without quiescence",
+				s.Fired()-firedAtHorizon)
+			break
+		}
+	}
+	res.DrainEvents = s.Fired() - firedAtHorizon
+	res.EndVirtual = s.Now()
+
+	// ---- Invariants.
+	for i := 0; i < cfg.ADUs; i++ {
+		name := uint64(i)
+		d, l := delivered[name], lost[name]
+		switch {
+		case d > 1:
+			res.violatef("alf: ADU %d delivered %d times", name, d)
+		case l > 1:
+			res.violatef("alf: ADU %d reported lost %d times", name, l)
+		case d == 1 && l == 1:
+			res.violatef("alf: ADU %d both delivered and reported lost", name)
+		case d == 0 && l == 0:
+			res.violatef("alf: ADU %d unaccounted for (neither delivered nor lost)", name)
+		}
+		if expired[name] > 1 {
+			res.violatef("alf: ADU %d expired %d times at the sender", name, expired[name])
+		}
+	}
+	res.Delivered = len(delivered)
+	res.Lost = len(lost)
+	res.Expired = snd.Stats.DeadlineDrops
+	res.ResentADUs = snd.Stats.ResentADUs
+	res.RecomputeADUs = snd.Stats.RecomputeADUs
+	res.UnfilledNacks = snd.Stats.UnfilledNacks
+
+	// Retention bound: with ADUDeadline D and submission period P, at
+	// most ceil(D/P)+slack ADUs can be retained at once; a blackout
+	// longer than D must not let retention track the whole backlog.
+	if cfg.Policy == alf.SenderBuffered {
+		bound := (int(aCfg.ADUDeadline/aduEvery) + 4) * cfg.ADUBytes
+		if res.PeakRetention > bound {
+			res.violatef("alf: peak retention %d B exceeds deadline bound %d B",
+				res.PeakRetention, bound)
+		}
+	}
+	// Reassembly bound: an ADU is held at most HoldTime before give-up.
+	if bound := int(aCfg.HoldTime/aduEvery) + 4; res.PeakReassembly > bound {
+		res.violatef("alf: peak reassembly %d ADUs exceeds hold-time bound %d",
+			res.PeakReassembly, bound)
+	}
+
+	// Quiescent end state: nothing retained, nothing pending, every
+	// fault healed.
+	if n := snd.BufferedADUs(); n != 0 {
+		res.violatef("alf: %d ADUs still retained after drain", n)
+	}
+	if n := rcv.Pending(); n != 0 {
+		res.violatef("alf: %d partial ADUs still held after drain", n)
+	}
+	if n := rcv.Missing(); n != 0 {
+		res.violatef("alf: %d ADUs still tracked missing after drain", n)
+	}
+	if inj.Active() {
+		res.violatef("faults: injector still active after the horizon")
+	}
+	for _, l := range net.Links() {
+		if l.Down() {
+			res.violatef("faults: link %s->%s left down", l.From().Name(), l.To().Name())
+		}
+		if h := l.HeldLen(); h != 0 {
+			res.violatef("netsim: link %s->%s still holds %d packets",
+				l.From().Name(), l.To().Name(), h)
+		}
+	}
+
+	// OTP stream integrity: delivery is a verified prefix (checked in
+	// OnData); a live connection delivers everything it accepted.
+	res.OTPSent = otpSent
+	res.OTPDelivered = oRcv.Delivered()
+	res.OTPDead = oSnd.Dead()
+	res.OTPTimeouts = oSnd.Stats.Timeouts
+	res.OTPRetransmits = oSnd.Stats.Retransmits
+	if res.OTPDelivered > otpSent {
+		res.violatef("otp: delivered %d bytes of %d submitted", res.OTPDelivered, otpSent)
+	}
+	if !res.OTPDead && res.OTPDelivered != otpSent {
+		res.violatef("otp: live connection delivered %d of %d bytes",
+			res.OTPDelivered, otpSent)
+	}
+	if res.OTPDead && oSnd.Stats.Died != 1 {
+		res.violatef("otp: Dead() true but Died stat = %d", oSnd.Stats.Died)
+	}
+
+	res.Faults = inj.Stats
+	res.TrunkDownDrops = lr.Stats.DownDrops + rl.Stats.DownDrops
+	res.TrunkHeld = lr.Stats.HeldPackets + rl.Stats.HeldPackets
+	return res, nil
+}

@@ -82,6 +82,31 @@ func New(sched *sim.Scheduler, seed int64) *Network {
 	return &Network{Sched: sched, Rand: sim.NewRand(seed)}
 }
 
+// Links returns every link in creation order. The slice is shared;
+// callers must not modify it.
+func (n *Network) Links() []*Link { return n.links }
+
+// LinksBetween returns the links whose endpoints straddle the two node
+// groups, in either direction — the cut set a partition must sever to
+// separate groups a and b.
+func (n *Network) LinksBetween(a, b []*Node) []*Link {
+	in := func(set []*Node, nd *Node) bool {
+		for _, s := range set {
+			if s == nd {
+				return true
+			}
+		}
+		return false
+	}
+	var cut []*Link
+	for _, l := range n.links {
+		if (in(a, l.from) && in(b, l.to)) || (in(b, l.from) && in(a, l.to)) {
+			cut = append(cut, l)
+		}
+	}
+	return cut
+}
+
 // NewNode adds a node. The name is for diagnostics only.
 func (n *Network) NewNode(name string) *Node {
 	node := &Node{net: n, id: NodeID(len(n.nodes)), name: name}
@@ -129,6 +154,28 @@ func (nd *Node) deliver(p *Packet) {
 	nd.handler(p)
 }
 
+// DownPolicy selects what happens to packets a link is holding (queued
+// for serialization) or receiving while the link is administratively
+// down (Link.SetDown). Fault-injection scenarios (internal/faults) flip
+// links down and up at scheduled virtual times.
+type DownPolicy uint8
+
+const (
+	// DropOnDown discards packets that reach a down link: new sends are
+	// dropped on entry and already-queued packets are dropped when their
+	// serialization completes. All are counted as LinkStats.DownDrops.
+	// This models an interface whose driver flushes its ring on carrier
+	// loss — the default, and the conservative assumption for recovery
+	// logic above.
+	DropOnDown DownPolicy = iota
+	// HoldOnDown parks packets while the link is down — queued packets
+	// migrate to a hold buffer, new sends join it (still bounded by
+	// QueueLimit) — and re-serializes them in order when the link comes
+	// back up. This models a driver that keeps its queue across a short
+	// carrier flap.
+	HoldOnDown
+)
+
 // Gilbert configures a two-state Gilbert–Elliott burst-loss process.
 // The link starts in the good state; transition probabilities are
 // evaluated per packet.
@@ -167,6 +214,9 @@ type LinkConfig struct {
 	// Corrupted packets are delivered with flipped bits and
 	// Packet.Corrupted set; upper-layer checksums must catch them.
 	BitErrorRate float64
+	// OnDown selects the fate of queued packets while the link is
+	// administratively down (default DropOnDown).
+	OnDown DownPolicy
 }
 
 // LinkStats counts link events for assertions and experiment reports.
@@ -177,6 +227,8 @@ type LinkStats struct {
 	DeliveredBytes int64
 	QueueDrops     int64 // drop-tail losses
 	LineLosses     int64 // impairment losses (random + burst)
+	DownDrops      int64 // packets dropped because the link was down
+	HeldPackets    int64 // packets parked by HoldOnDown (cumulative)
 	Dups           int64
 	Reordered      int64
 	Corrupted      int64
@@ -193,6 +245,8 @@ type Link struct {
 	busyUntil sim.Time
 	queued    int
 	inBad     bool // Gilbert–Elliott state
+	down      bool
+	held      []*Packet // parked by HoldOnDown, FIFO
 	Stats     LinkStats
 }
 
@@ -225,6 +279,8 @@ func (l *Link) bindMetrics(r *metrics.Registry, idx int) {
 		{"netsim.link.delivered_bytes", func() int64 { return st.DeliveredBytes }},
 		{"netsim.link.queue_drops", func() int64 { return st.QueueDrops }},
 		{"netsim.link.line_losses", func() int64 { return st.LineLosses }},
+		{"netsim.link.down_drops", func() int64 { return st.DownDrops }},
+		{"netsim.link.held_packets", func() int64 { return st.HeldPackets }},
 		{"netsim.link.dups", func() int64 { return st.Dups }},
 		{"netsim.link.reordered", func() int64 { return st.Reordered }},
 		{"netsim.link.corrupted", func() int64 { return st.Corrupted }},
@@ -233,6 +289,13 @@ func (l *Link) bindMetrics(r *metrics.Registry, idx int) {
 		r.CounterFunc(e.name, e.fn, lb)
 	}
 	r.GaugeFunc("netsim.link.queue_depth", func() int64 { return int64(l.queued) }, lb)
+	r.GaugeFunc("netsim.link.held_depth", func() int64 { return int64(len(l.held)) }, lb)
+	r.GaugeFunc("netsim.link.down", func() int64 {
+		if l.down {
+			return 1
+		}
+		return 0
+	}, lb)
 }
 
 // NewDuplex creates a pair of links with the same configuration,
@@ -249,6 +312,43 @@ func (l *Link) To() *Node { return l.to }
 
 // Config returns the link configuration.
 func (l *Link) Config() LinkConfig { return l.cfg }
+
+// UpdateConfig replaces the link configuration at runtime. Packets
+// already serializing keep their committed departure times; new sends
+// see the new rate, delay, and impairments immediately. The
+// Gilbert–Elliott state machine carries over. Fault scenarios use this
+// to degrade a live link (raise loss, stretch delay) and later restore
+// the saved config.
+func (l *Link) UpdateConfig(cfg LinkConfig) { l.cfg = cfg }
+
+// Down reports whether the link is administratively down.
+func (l *Link) Down() bool { return l.down }
+
+// HeldLen returns the number of packets parked by HoldOnDown.
+func (l *Link) HeldLen() int { return len(l.held) }
+
+// SetDown changes the link's administrative state. Taking a link down
+// applies the configured DownPolicy to traffic: with DropOnDown (the
+// default) new sends and already-queued packets are discarded and
+// counted as DownDrops; with HoldOnDown they are parked and
+// re-serialized, in order, when the link comes back up. Bringing an
+// already-up link up (or down link down) is a no-op.
+func (l *Link) SetDown(down bool) {
+	if l.down == down {
+		return
+	}
+	l.down = down
+	if down {
+		return
+	}
+	// Back up: whatever HoldOnDown parked re-enters serialization now,
+	// in arrival order.
+	held := l.held
+	l.held = nil
+	for _, pkt := range held {
+		l.enqueue(pkt)
+	}
+}
 
 // serialization returns the transmission time of n payload bytes.
 func (l *Link) serialization(n int) sim.Duration {
@@ -277,33 +377,60 @@ func (l *Link) send(payload []byte, finalTo NodeID) error {
 		l.Stats.Rejected++
 		return fmt.Errorf("%w: %d > %d", ErrTooBig, len(payload), l.cfg.MTU)
 	}
-	if l.cfg.QueueLimit > 0 && l.queued >= l.cfg.QueueLimit {
+	if l.down && l.cfg.OnDown == DropOnDown {
+		l.Stats.DownDrops++
+		return nil
+	}
+	if l.cfg.QueueLimit > 0 && l.queued+len(l.held) >= l.cfg.QueueLimit {
 		l.Stats.QueueDrops++
 		return nil
 	}
 	l.Stats.Sent++
 	l.Stats.SentBytes += int64(len(payload))
-	l.queued++
+	pkt := &Packet{From: l.from.id, To: finalTo, Payload: append([]byte(nil), payload...)}
+	if l.down {
+		l.hold(pkt)
+		return nil
+	}
+	l.enqueue(pkt)
+	return nil
+}
 
+// enqueue commits pkt to serialization: it departs when the link has
+// transmitted every byte ahead of it.
+func (l *Link) enqueue(pkt *Packet) {
+	l.queued++
 	now := l.net.Sched.Now()
 	start := l.busyUntil
 	if start < now {
 		start = now
 	}
-	txEnd := start.Add(l.serialization(len(payload)))
+	txEnd := start.Add(l.serialization(len(pkt.Payload)))
 	l.busyUntil = txEnd
-
-	pkt := &Packet{From: l.from.id, To: finalTo, Payload: append([]byte(nil), payload...)}
 	l.net.Sched.At(txEnd, func() {
 		l.queued--
 		l.depart(pkt)
 	})
-	return nil
+}
+
+// hold parks pkt until the link comes back up (HoldOnDown).
+func (l *Link) hold(pkt *Packet) {
+	l.Stats.HeldPackets++
+	l.held = append(l.held, pkt)
 }
 
 // depart applies impairments at the moment the packet finishes
 // serialization and schedules delivery.
 func (l *Link) depart(pkt *Packet) {
+	if l.down {
+		// The link went down while this packet was serializing.
+		if l.cfg.OnDown == HoldOnDown {
+			l.hold(pkt)
+		} else {
+			l.Stats.DownDrops++
+		}
+		return
+	}
 	rnd := l.net.Rand
 
 	if l.lost(rnd) {

@@ -437,3 +437,170 @@ func TestCrossNetworkLinkPanics(t *testing.T) {
 	}()
 	n1.NewLink(a, b, LinkConfig{})
 }
+
+func TestLinkDownDropsNewSends(t *testing.T) {
+	s, _, _, b, l := pair(t, LinkConfig{Delay: time.Millisecond}, 1)
+	delivered := 0
+	b.SetHandler(func(p *Packet) { delivered++ })
+	l.SetDown(true)
+	if !l.Down() {
+		t.Fatal("link not down after SetDown(true)")
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Send([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if delivered != 0 {
+		t.Errorf("delivered = %d on a down link", delivered)
+	}
+	if l.Stats.DownDrops != 3 {
+		t.Errorf("down drops = %d, want 3", l.Stats.DownDrops)
+	}
+	// Down drops are distinct from queue and line losses.
+	if l.Stats.QueueDrops != 0 || l.Stats.LineLosses != 0 {
+		t.Errorf("misclassified drops: %+v", l.Stats)
+	}
+	l.SetDown(false)
+	l.Send([]byte("y"))
+	s.Run()
+	if delivered != 1 {
+		t.Errorf("delivered = %d after link back up, want 1", delivered)
+	}
+}
+
+func TestLinkDownDropsQueuedPackets(t *testing.T) {
+	// Packets mid-serialization when the link goes down are dropped at
+	// their departure instant under DropOnDown.
+	s, _, _, b, l := pair(t, LinkConfig{RateBps: 1e6}, 1)
+	delivered := 0
+	b.SetHandler(func(p *Packet) { delivered++ })
+	for i := 0; i < 4; i++ {
+		l.Send(make([]byte, 1000)) // 8 ms serialization each
+	}
+	s.RunUntil(sim.Time(9 * time.Millisecond)) // first has departed
+	l.SetDown(true)
+	s.Run()
+	if delivered != 1 {
+		t.Errorf("delivered = %d, want 1", delivered)
+	}
+	if l.Stats.DownDrops != 3 {
+		t.Errorf("down drops = %d, want 3", l.Stats.DownDrops)
+	}
+}
+
+func TestLinkHoldOnDownParksAndReplays(t *testing.T) {
+	s, _, _, b, l := pair(t, LinkConfig{RateBps: 1e6, OnDown: HoldOnDown}, 1)
+	var arrivals []sim.Time
+	var got []byte
+	b.SetHandler(func(p *Packet) {
+		arrivals = append(arrivals, s.Now())
+		got = append(got, p.Payload[0])
+	})
+	l.SetDown(true)
+	l.Send([]byte{1})
+	l.Send([]byte{2})
+	l.Send([]byte{3})
+	if l.HeldLen() != 3 {
+		t.Fatalf("held = %d, want 3", l.HeldLen())
+	}
+	s.RunUntil(sim.Time(50 * time.Millisecond))
+	if len(arrivals) != 0 {
+		t.Fatal("held packets delivered while down")
+	}
+	l.SetDown(false)
+	s.Run()
+	if string(got) != "\x01\x02\x03" {
+		t.Errorf("order = %v, want FIFO 1,2,3", got)
+	}
+	// Serialization restarts at the up-transition: 1-byte packets at
+	// 1 Mbps take 8 us each, back to back from t=50ms.
+	if len(arrivals) != 3 || arrivals[0] != sim.Time(50*time.Millisecond+8*time.Microsecond) {
+		t.Errorf("arrivals = %v", arrivals)
+	}
+	if l.Stats.HeldPackets != 3 || l.Stats.DownDrops != 0 {
+		t.Errorf("stats = %+v", l.Stats)
+	}
+}
+
+func TestLinkHoldOnDownMidFlight(t *testing.T) {
+	// A packet serializing at down-transition is parked, not dropped,
+	// and replays after the flap.
+	s, _, _, b, l := pair(t, LinkConfig{RateBps: 1e6, OnDown: HoldOnDown}, 1)
+	delivered := 0
+	b.SetHandler(func(p *Packet) { delivered++ })
+	l.Send(make([]byte, 1000)) // departs at 8 ms
+	s.RunUntil(sim.Time(1 * time.Millisecond))
+	l.SetDown(true)
+	s.RunUntil(sim.Time(20 * time.Millisecond))
+	if delivered != 0 || l.HeldLen() != 1 {
+		t.Fatalf("delivered=%d held=%d mid-flap", delivered, l.HeldLen())
+	}
+	l.SetDown(false)
+	s.Run()
+	if delivered != 1 {
+		t.Errorf("delivered = %d after flap, want 1", delivered)
+	}
+}
+
+func TestLinkHoldOnDownRespectsQueueLimit(t *testing.T) {
+	_, _, _, _, l := pair(t, LinkConfig{RateBps: 1e6, QueueLimit: 2, OnDown: HoldOnDown}, 1)
+	l.SetDown(true)
+	for i := 0; i < 5; i++ {
+		l.Send([]byte{byte(i)})
+	}
+	if l.HeldLen() != 2 {
+		t.Errorf("held = %d, want 2 (QueueLimit)", l.HeldLen())
+	}
+	if l.Stats.QueueDrops != 3 {
+		t.Errorf("queue drops = %d, want 3", l.Stats.QueueDrops)
+	}
+}
+
+func TestUpdateConfigTakesEffect(t *testing.T) {
+	s, _, _, b, l := pair(t, LinkConfig{Delay: time.Millisecond}, 1)
+	delivered := 0
+	b.SetHandler(func(p *Packet) { delivered++ })
+	l.Send([]byte("a"))
+	s.Run()
+	cfg := l.Config()
+	cfg.LossProb = 1 // degrade: total loss
+	l.UpdateConfig(cfg)
+	l.Send([]byte("b"))
+	s.Run()
+	cfg.LossProb = 0 // restore
+	l.UpdateConfig(cfg)
+	l.Send([]byte("c"))
+	s.Run()
+	if delivered != 2 {
+		t.Errorf("delivered = %d, want 2", delivered)
+	}
+	if l.Stats.LineLosses != 1 {
+		t.Errorf("line losses = %d, want 1", l.Stats.LineLosses)
+	}
+}
+
+func TestLinksBetween(t *testing.T) {
+	s := sim.NewScheduler()
+	n := New(s, 1)
+	a1, a2 := n.NewNode("a1"), n.NewNode("a2")
+	b1 := n.NewNode("b1")
+	ab, ba := n.NewDuplex(a1, b1, LinkConfig{})
+	aa, _ := n.NewDuplex(a1, a2, LinkConfig{})
+	cut := n.LinksBetween([]*Node{a1, a2}, []*Node{b1})
+	if len(cut) != 2 {
+		t.Fatalf("cut = %d links, want 2", len(cut))
+	}
+	for _, l := range cut {
+		if l == aa {
+			t.Error("intra-group link in cut set")
+		}
+	}
+	if (cut[0] != ab && cut[1] != ab) || (cut[0] != ba && cut[1] != ba) {
+		t.Error("cut set missing a crossing link")
+	}
+	if len(n.Links()) != 4 {
+		t.Errorf("Links() = %d, want 4", len(n.Links()))
+	}
+}

@@ -47,6 +47,7 @@ func bindConnMetrics(r *metrics.Registry, c *Conn) connMetrics {
 	} {
 		r.CounterFunc(e.name, e.fn, lb...)
 	}
+	r.GaugeFunc("otp.dead", func() int64 { return st.Died }, lb...)
 	r.GaugeFunc("otp.unacked_bytes", func() int64 { return int64(c.sndNxt - c.sndUna) }, lb...)
 	r.GaugeFunc("otp.ooo_buffered_bytes", func() int64 { return int64(c.oooBytes) }, lb...)
 	r.GaugeFunc("otp.srtt_ns", func() int64 { return int64(c.srtt) }, lb...)

@@ -53,6 +53,7 @@ var (
 	ErrSegmentSize = errors.New("otp: segment too short")
 	ErrBufferFull  = errors.New("otp: send buffer full")
 	ErrWrongConn   = errors.New("otp: segment for another connection")
+	ErrConnDead    = errors.New("otp: connection declared dead")
 )
 
 // Config parameterizes a connection. Zero fields take defaults.
@@ -77,6 +78,14 @@ type Config struct {
 	// long after the segment that provoked it (0 = immediate). The
 	// delayed-ACK path is the out-of-band control of experiment A2.
 	AckDelay sim.Duration
+	// FailThreshold, when non-zero, declares the connection dead after
+	// that many consecutive retransmission timeouts with no forward
+	// progress — a partitioned peer then fails explicitly (Dead,
+	// OnDead, Send returning ErrConnDead) instead of retrying at MaxRTO
+	// forever. With the RTO ceiling the worst-case time to declare is
+	// roughly FailThreshold x MaxRTO. Zero never gives up (the
+	// original, pre-hardening behaviour).
+	FailThreshold int
 	// FastRetransmit enables retransmission on three duplicate ACKs.
 	FastRetransmit bool
 	// Metrics, if non-nil, registers this connection's event counters
@@ -133,6 +142,8 @@ type Stats struct {
 	WindowDrops      int64 // segments beyond the receive window info
 	DupAcks          int64
 	BadAcks          int64 // acknowledgements for data never sent
+
+	Died int64 // 1 once FailThreshold declared the connection dead
 }
 
 // Conn is one end of an OTP connection. Both directions carry data; the
@@ -148,6 +159,9 @@ type Conn struct {
 	// OnAcked, if set, fires whenever the acknowledged offset advances,
 	// with the total acknowledged byte count.
 	OnAcked func(total int64)
+	// OnDead, if set, fires once when FailThreshold consecutive timeouts
+	// without forward progress declare the connection dead.
+	OnDead func()
 
 	// Sender state (absolute stream offsets).
 	sndUna  int64  // oldest unacknowledged
@@ -182,6 +196,12 @@ type Conn struct {
 	// and the buffer drains (§5's in-order delivery cost).
 	stalled    bool
 	stallStart sim.Time
+
+	// Failure detection: consecutive RTO expiries since the last ACK
+	// that advanced sndUna. Crossing cfg.FailThreshold kills the
+	// connection permanently.
+	timeoutStreak int
+	dead          bool
 
 	m connMetrics
 
@@ -224,10 +244,18 @@ func (c *Conn) Delivered() int64 { return c.rcvNxt }
 // Idle reports whether the sender has nothing outstanding or queued.
 func (c *Conn) Idle() bool { return c.sndUna == c.sndEnd }
 
+// Dead reports whether FailThreshold declared the connection dead. A
+// dead connection stops all timers, rejects writes, and ignores
+// arriving segments; the state is terminal.
+func (c *Conn) Dead() bool { return c.dead }
+
 // Send queues data for transmission. It returns ErrBufferFull when the
 // send buffer cannot take the whole write (nothing is queued in that
 // case).
 func (c *Conn) Send(data []byte) error {
+	if c.dead {
+		return ErrConnDead
+	}
 	if c.Buffered()+len(data) > c.cfg.SendBuffer {
 		return fmt.Errorf("%w: %d queued", ErrBufferFull, c.Buffered())
 	}
@@ -328,10 +356,15 @@ func (c *Conn) recvWindowAvail() int {
 // onTimeout handles RTO expiry: retransmit the oldest outstanding
 // segment and back off.
 func (c *Conn) onTimeout() {
-	if c.sndUna == c.sndNxt {
-		return // nothing outstanding
+	if c.dead || c.sndUna == c.sndNxt {
+		return // dead, or nothing outstanding
 	}
 	c.Stats.Timeouts++
+	c.timeoutStreak++
+	if c.cfg.FailThreshold > 0 && c.timeoutStreak >= c.cfg.FailThreshold {
+		c.markDead()
+		return
+	}
 	c.timingActive = false // Karn: discard the sample
 	c.enterRecovery()
 	n := int(c.sndNxt - c.sndUna)
@@ -346,10 +379,27 @@ func (c *Conn) onTimeout() {
 	c.rtoTimer.Reset(c.rto)
 }
 
+// markDead terminates the connection: all timers stop, writes return
+// ErrConnDead, and arriving segments are dropped. Explicit failure —
+// the alternative is retrying at MaxRTO forever across a partition.
+func (c *Conn) markDead() {
+	c.dead = true
+	c.Stats.Died = 1
+	c.rtoTimer.Stop()
+	c.ackTimer.Stop()
+	c.ackOwed = false
+	if c.OnDead != nil {
+		c.OnDead()
+	}
+}
+
 // HandleSegment processes one arriving wire segment (the node handler
 // should pass packet payloads here). Segments for other connection IDs
 // are reported with ErrWrongConn so a demultiplexer can try elsewhere.
 func (c *Conn) HandleSegment(seg []byte) error {
+	if c.dead {
+		return nil
+	}
 	if len(seg) < HeaderSize {
 		return fmt.Errorf("%w: %d bytes", ErrSegmentSize, len(seg))
 	}
@@ -408,6 +458,7 @@ func (c *Conn) handleAck(ack int64) {
 			c.sndNxt = c.sndUna
 		}
 		c.dupAcks = 0
+		c.timeoutStreak = 0 // forward progress: the peer is alive
 		// RTT sample (Karn-filtered).
 		if c.timingActive && ack >= c.timedSeq {
 			c.sample(c.sched.Now().Sub(c.timedAt))

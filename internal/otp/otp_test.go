@@ -640,6 +640,84 @@ func BenchmarkHandleSegmentAckPath(b *testing.B) {
 	}
 }
 
+func TestFailThresholdDeclaresDead(t *testing.T) {
+	// Into a black hole, FailThreshold consecutive timeouts must kill
+	// the connection explicitly: Dead(), OnDead, ErrConnDead on Send,
+	// and no further retransmission attempts ever.
+	s := sim.NewScheduler()
+	cfg := Config{
+		InitialRTO:    10 * time.Millisecond,
+		MaxRTO:        50 * time.Millisecond,
+		FailThreshold: 6,
+	}
+	c := New(s, func([]byte) error { return nil }, cfg)
+	deadAt := sim.Time(-1)
+	c.OnDead = func() { deadAt = s.Now() }
+	c.Send(pattern(100))
+	s.Run() // must terminate: a dead connection arms no timers
+	if !c.Dead() {
+		t.Fatal("connection not dead after sustained blackout")
+	}
+	if deadAt < 0 {
+		t.Error("OnDead never fired")
+	}
+	if c.Stats.Timeouts != 6 || c.Stats.Died != 1 {
+		t.Errorf("Timeouts = %d, Died = %d, want 6 and 1",
+			c.Stats.Timeouts, c.Stats.Died)
+	}
+	// The dying timeout does not retransmit: 1 original + 5 retries.
+	if c.Stats.SegmentsSent != 6 {
+		t.Errorf("SegmentsSent = %d, want 6", c.Stats.SegmentsSent)
+	}
+	if err := c.Send(pattern(10)); err != ErrConnDead {
+		t.Errorf("Send on dead conn = %v, want ErrConnDead", err)
+	}
+	// Dead is terminal: a late segment must not resurrect it. The peer
+	// gets a FailThreshold too, or it would retry into the corpse
+	// forever and Run() would never terminate.
+	peer := New(s, c.HandleSegment, Config{FailThreshold: 3})
+	peer.Send(pattern(50))
+	s.Run()
+	if !c.Dead() || c.Delivered() != 0 {
+		t.Error("dead connection processed a late segment")
+	}
+}
+
+func TestFailThresholdStreakResetsOnProgress(t *testing.T) {
+	// A lossy-but-alive path must never trip the threshold: every ACK
+	// that advances sndUna resets the streak.
+	p := newPair(t, netsim.LinkConfig{Delay: time.Millisecond, LossProb: 0.1},
+		Config{FailThreshold: 3, InitialRTO: 20 * time.Millisecond,
+			MinRTO: 20 * time.Millisecond}, 17)
+	data := pattern(100_000)
+	p.sender.Send(data)
+	p.sched.Run()
+	if p.sender.Dead() {
+		t.Fatal("live lossy path declared dead")
+	}
+	if !bytes.Equal(p.got.Bytes(), data) {
+		t.Fatalf("received %d of %d bytes", p.got.Len(), len(data))
+	}
+	if p.sender.Stats.Timeouts == 0 {
+		t.Error("expected some timeouts on a 10% lossy path")
+	}
+}
+
+func TestZeroFailThresholdNeverGivesUp(t *testing.T) {
+	// Back-compat: the default keeps retrying at MaxRTO forever.
+	s := sim.NewScheduler()
+	c := New(s, func([]byte) error { return nil },
+		Config{InitialRTO: 10 * time.Millisecond, MaxRTO: 50 * time.Millisecond})
+	c.Send(pattern(100))
+	s.RunUntil(sim.Time(5 * time.Second))
+	if c.Dead() {
+		t.Error("FailThreshold=0 declared dead")
+	}
+	if c.Stats.Timeouts < 50 {
+		t.Errorf("timeouts = %d, want steady retrying", c.Stats.Timeouts)
+	}
+}
+
 func TestForgedAckIgnored(t *testing.T) {
 	// An acknowledgement for data never sent must be dropped, not
 	// crash or corrupt sender state.
