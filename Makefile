@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench fuzz soak check
+.PHONY: build test race vet bench bench-json fuzz soak check
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,16 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Benchmarks across the whole tree (kernels, endpoints, tracer,
+# registry). -run '^$' keeps the regular tests out of the timing run.
 bench:
-	$(GO) test -bench . -benchmem ./internal/metrics
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Archive today's benchmark numbers as JSON (op, ns/op, allocs) for
+# cross-commit diffing: writes BENCH_<date>.json in the repo root.
+BENCH_DATE := $(shell date +%Y-%m-%d)
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_$(BENCH_DATE).json
 
 # Native fuzzers over the ALF wire formats. The budget is deliberately
 # small so check stays fast; raise FUZZTIME for a real session.

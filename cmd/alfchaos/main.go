@@ -15,6 +15,9 @@
 //	alfchaos -scenario random -duration 10s  # seeded random fault composition
 //	alfchaos -all                            # every preset x every policy
 //	alfchaos -scenario partition -hold       # down trunk parks packets instead
+//	alfchaos -trace chaos.json               # record spans; on violation,
+//	                                         # dump the culprits' timelines
+//	                                         # and write a Perfetto trace
 //
 // Scenarios: flap, blackout, degrade, partition, random.
 package main
@@ -29,6 +32,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/faults/soak"
 	"repro/internal/metrics"
+	"repro/internal/tracing"
 )
 
 var (
@@ -42,6 +46,7 @@ var (
 	flagHold     = flag.Bool("hold", false, "down trunk parks packets (HoldOnDown) instead of dropping")
 	flagAll      = flag.Bool("all", false, "run every scenario x policy combination (summary only)")
 	flagTree     = flag.Bool("tree", true, "print the unified metric tree after the summary")
+	flagTrace    = flag.String("trace", "", "record the run with the span tracer; on violation, dump the violating ADUs' timelines and write Perfetto JSON here")
 )
 
 func main() {
@@ -61,6 +66,14 @@ func runOne(scenario, policyName string, verbose bool) int {
 		return 2
 	}
 	reg := metrics.New()
+	var tracer *tracing.Tracer
+	if *flagTrace != "" {
+		tracer = tracing.New(nil) // soak.Run binds it to the run's clock
+		// Chaos runs are long; the default event cap could truncate the
+		// tail where a violation most likely lives. Runs are bounded by
+		// the horizon, so a larger cap is safe.
+		tracer.SetLimit(4 << 20)
+	}
 	res, err := soak.Run(soak.Config{
 		Seed:       *flagSeed,
 		Scenario:   scenario,
@@ -71,6 +84,7 @@ func runOne(scenario, policyName string, verbose bool) int {
 		OTPBytes:   *flagOTP,
 		HoldOnDown: *flagHold,
 		Metrics:    reg,
+		Tracer:     tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
@@ -81,6 +95,12 @@ func runOne(scenario, policyName string, verbose bool) int {
 	if verbose && *flagTree {
 		fmt.Println()
 		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
+			return 2
+		}
+	}
+	if tracer != nil {
+		if err := dumpTrace(tracer, res); err != nil {
 			fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
 			return 2
 		}
@@ -137,6 +157,42 @@ func printSummary(res *soak.Result) {
 	for _, v := range res.Violations {
 		fmt.Printf("  ! %s\n", v)
 	}
+}
+
+// dumpTrace writes the recorded run as Perfetto JSON and, when
+// invariants broke, prints the violating ADUs' reconstructed
+// timelines — the trace of the violating window, not just a counter.
+func dumpTrace(tracer *tracing.Tracer, res *soak.Result) error {
+	rep := tracer.Analyze()
+	if !res.Passed() {
+		fmt.Println()
+		fmt.Println("trace of the violating window:")
+		rep.WriteSummary(os.Stdout)
+		const maxDump = 8
+		for i, name := range res.ViolatedADUs {
+			if i == maxDump {
+				fmt.Printf("  (… %d more violating ADUs; open the Perfetto trace for the rest)\n",
+					len(res.ViolatedADUs)-maxDump)
+				break
+			}
+			fmt.Println()
+			rep.WriteADU(os.Stdout, 0, name)
+		}
+	}
+	f, err := os.Create(*flagTrace)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WritePerfetto(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nperfetto trace (%d events, %d dropped) written to %s\n",
+		tracer.Len(), tracer.Dropped, *flagTrace)
+	return nil
 }
 
 // parsePolicy maps the flag to an ALF policy.

@@ -3,14 +3,22 @@
 // it to watch fragmentation, loss, NACK recovery, FEC parity, and
 // heartbeats interact.
 //
+// Beyond the per-packet view (internal/trace), the run is also
+// recorded by the span tracer (internal/tracing), so the same
+// execution can be rendered as reconstructed ADU lifecycles:
+//
 //	alftrace                          # defaults: 6 ADUs, 10% loss
 //	alftrace -adus 3 -loss 25 -fec 4  # heavier loss, FEC enabled
 //	alftrace -seed 9 -encrypt
+//	alftrace -spans -attr             # span summary + latency attribution
+//	alftrace -adu 2                   # one ADU's full event timeline
+//	alftrace -perfetto out.json       # Chrome/Perfetto trace export
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -18,53 +26,66 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 	"repro/internal/xcode"
 )
 
-var (
-	flagADUs    = flag.Int("adus", 6, "ADUs to transfer")
-	flagSize    = flag.Int("size", 2048, "bytes per ADU")
-	flagLoss    = flag.Float64("loss", 10, "packet loss percent")
-	flagFEC     = flag.Int("fec", 0, "FEC group size (0 = off)")
-	flagSeed    = flag.Int64("seed", 1, "simulation seed")
-	flagEncrypt = flag.Bool("encrypt", false, "encipher the stream")
-	flagLimit   = flag.Int64("limit", 400, "max trace lines (0 = unlimited)")
-)
+// options collects every knob so the whole run is testable as a pure
+// (options, writer) function.
+type options struct {
+	adus    int
+	size    int
+	loss    float64 // percent
+	fec     int
+	seed    int64
+	encrypt bool
+	limit   int64
 
-func main() {
-	flag.Parse()
+	packets  bool   // per-packet wire trace (the classic view)
+	spans    bool   // span-level run summary
+	attr     bool   // per-ADU latency attribution table
+	adu      int64  // single-ADU timeline by name (-1 = off)
+	perfetto string // write Chrome trace-event JSON here
+}
 
+func run(opts options, w io.Writer) error {
 	sched := sim.NewScheduler()
-	net := netsim.New(sched, *flagSeed)
+	net := netsim.New(sched, opts.seed)
 	a := net.NewNode("sender")
 	b := net.NewNode("receiver")
 	fwd, rev := net.NewDuplex(a, b, netsim.LinkConfig{
 		RateBps:  10e6,
 		Delay:    5 * time.Millisecond,
-		LossProb: *flagLoss / 100,
+		LossProb: opts.loss / 100,
 	})
 
-	logger := trace.New(os.Stdout, sched)
-	logger.Limit = *flagLimit
+	tracer := tracing.New(sched)
+	net.SetTracer(tracer)
+
+	packetOut := w
+	if !opts.packets {
+		packetOut = io.Discard
+	}
+	logger := trace.New(packetOut, sched)
+	logger.Limit = opts.limit
 
 	cfg := alf.Config{
 		MTU:          512 + alf.HeaderSize,
 		NackDelay:    10 * time.Millisecond,
 		NackInterval: 10 * time.Millisecond,
-		FECGroup:     *flagFEC,
+		FECGroup:     opts.fec,
+		Tracer:       tracer,
 	}
-	if *flagEncrypt {
+	if opts.encrypt {
 		cfg.Key = 0xC0FFEE
 	}
 	snd, err := alf.NewSender(sched, logger.WrapSend("snd", trace.ALF, fwd.Send), cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	rcv, err := alf.NewReceiver(sched, logger.WrapSend("rcv", trace.ALF, rev.Send), cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	a.SetHandler(logger.WrapHandler("snd", trace.ALF,
 		func(p *netsim.Packet) { snd.HandleControl(p.Payload) }))
@@ -74,30 +95,93 @@ func main() {
 	delivered := 0
 	rcv.OnADU = func(adu alf.ADU) {
 		delivered++
-		fmt.Printf("%12v ** ADU %d delivered (%d bytes, tag=%#x)\n",
-			sched.Now(), adu.Name, len(adu.Data), adu.Tag)
+		if opts.packets {
+			fmt.Fprintf(w, "%12v ** ADU %d delivered (%d bytes, tag=%#x)\n",
+				sched.Now(), adu.Name, len(adu.Data), adu.Tag)
+		}
 	}
 	rcv.OnLost = func(name uint64) {
-		fmt.Printf("%12v ** ADU %d LOST\n", sched.Now(), name)
+		if opts.packets {
+			fmt.Fprintf(w, "%12v ** ADU %d LOST\n", sched.Now(), name)
+		}
 	}
 
-	for i := 0; i < *flagADUs; i++ {
-		data := make([]byte, *flagSize)
+	for i := 0; i < opts.adus; i++ {
+		data := make([]byte, opts.size)
 		for j := range data {
 			data[j] = byte(i + j)
 		}
-		if _, err := snd.Send(uint64(i*(*flagSize)), xcode.SyntaxRaw, data); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if _, err := snd.Send(uint64(i*opts.size), xcode.SyntaxRaw, data); err != nil {
+			return err
 		}
 	}
 	if err := sched.Run(); err != nil {
+		return err
+	}
+
+	if opts.packets {
+		fmt.Fprintf(w, "\n%d/%d ADUs delivered; sender sent %d fragments (%d parity, %d resent); receiver saw %d dup / %d late fragments, recovered %d by FEC\n",
+			delivered, opts.adus,
+			snd.Stats.Fragments, snd.Stats.ParityFrags, snd.Stats.ResentFrags,
+			rcv.Stats.DupFragments, rcv.Stats.LateFragments, rcv.Stats.FECRecovered)
+	}
+
+	if opts.spans || opts.attr || opts.adu >= 0 {
+		rep := tracer.Analyze()
+		if opts.spans {
+			if opts.packets {
+				fmt.Fprintln(w)
+			}
+			rep.WriteSummary(w)
+		}
+		if opts.attr {
+			if opts.packets || opts.spans {
+				fmt.Fprintln(w)
+			}
+			rep.WriteAttrTable(w)
+		}
+		if opts.adu >= 0 {
+			if opts.packets || opts.spans || opts.attr {
+				fmt.Fprintln(w)
+			}
+			rep.WriteADU(w, cfg.StreamID, uint64(opts.adu))
+		}
+	}
+	if opts.perfetto != "" {
+		f, err := os.Create(opts.perfetto)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WritePerfetto(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "perfetto trace (%d events) written to %s\n", tracer.Len(), opts.perfetto)
+	}
+	return nil
+}
+
+func main() {
+	opts := options{packets: true}
+	flag.IntVar(&opts.adus, "adus", 6, "ADUs to transfer")
+	flag.IntVar(&opts.size, "size", 2048, "bytes per ADU")
+	flag.Float64Var(&opts.loss, "loss", 10, "packet loss percent")
+	flag.IntVar(&opts.fec, "fec", 0, "FEC group size (0 = off)")
+	flag.Int64Var(&opts.seed, "seed", 1, "simulation seed")
+	flag.BoolVar(&opts.encrypt, "encrypt", false, "encipher the stream")
+	flag.Int64Var(&opts.limit, "limit", 400, "max trace lines (0 = unlimited)")
+	flag.BoolVar(&opts.packets, "packets", true, "print the per-packet wire trace")
+	flag.BoolVar(&opts.spans, "spans", false, "print the reconstructed span summary")
+	flag.BoolVar(&opts.attr, "attr", false, "print the per-ADU latency attribution table")
+	flag.Int64Var(&opts.adu, "adu", -1, "print one ADU's full event timeline by name")
+	flag.StringVar(&opts.perfetto, "perfetto", "", "write Chrome/Perfetto trace-event JSON to this file")
+	flag.Parse()
+
+	if err := run(opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-
-	fmt.Printf("\n%d/%d ADUs delivered; sender sent %d fragments (%d parity, %d resent); receiver saw %d dup / %d late fragments, recovered %d by FEC\n",
-		delivered, *flagADUs,
-		snd.Stats.Fragments, snd.Stats.ParityFrags, snd.Stats.ResentFrags,
-		rcv.Stats.DupFragments, rcv.Stats.LateFragments, rcv.Stats.FECRecovered)
 }

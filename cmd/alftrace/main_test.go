@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The run is fully deterministic from (code, options): virtual clock,
+// seeded loss, ordered exports. Golden files pin the rendered output;
+// regenerate deliberately with `go test ./cmd/alftrace -update`.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/alftrace -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+func baseOpts() options {
+	return options{
+		adus: 4, size: 2048, loss: 10, seed: 1, limit: 400,
+		adu: -1,
+	}
+}
+
+func TestGoldenPackets(t *testing.T) {
+	opts := baseOpts()
+	opts.packets = true
+	var buf bytes.Buffer
+	if err := run(opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "packets.golden", buf.Bytes())
+}
+
+func TestGoldenSpansAttr(t *testing.T) {
+	opts := baseOpts()
+	opts.spans = true
+	opts.attr = true
+	var buf bytes.Buffer
+	if err := run(opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "spans_attr.golden", buf.Bytes())
+}
+
+func TestGoldenSingleADU(t *testing.T) {
+	opts := baseOpts()
+	opts.adu = 1
+	var buf bytes.Buffer
+	if err := run(opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "adu1.golden", buf.Bytes())
+}
+
+func TestGoldenFEC(t *testing.T) {
+	opts := baseOpts()
+	opts.fec = 2
+	opts.loss = 25
+	opts.spans = true
+	opts.attr = true
+	var buf bytes.Buffer
+	if err := run(opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fec.golden", buf.Bytes())
+}
+
+// TestPerfettoFlag runs with -perfetto and asserts the file is valid
+// Chrome trace-event JSON with the expected envelope.
+func TestPerfettoFlag(t *testing.T) {
+	opts := baseOpts()
+	opts.perfetto = filepath.Join(t.TempDir(), "out.json")
+	var buf bytes.Buffer
+	if err := run(opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(opts.perfetto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int    `json:"pid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", f.DisplayTimeUnit)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("perfetto trace has no events")
+	}
+	if !strings.Contains(buf.String(), opts.perfetto) {
+		t.Errorf("run output does not mention the perfetto path:\n%s", buf.String())
+	}
+}
+
+// TestDeterminism double-checks the property the goldens rely on.
+func TestDeterminism(t *testing.T) {
+	opts := baseOpts()
+	opts.packets = true
+	opts.spans = true
+	opts.attr = true
+	var a, b bytes.Buffer
+	if err := run(opts, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(opts, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical options produced different output")
+	}
+}

@@ -1,0 +1,135 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON document, so benchmark runs can be archived and diffed
+// across commits (`make bench-json` writes BENCH_<date>.json).
+//
+//	go test -bench . -benchmem ./... | benchjson -o BENCH_2026-08-06.json
+//
+// Lines that are not benchmark results (package headers, PASS/ok,
+// warnings) pass through to stderr untouched so the run stays
+// readable while being captured.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Op   string  `json:"op"`                 // benchmark name, -cpu suffix kept
+	Pkg  string  `json:"pkg,omitempty"`      // package, from the preceding "pkg:" line
+	Iter int64   `json:"iterations"`         // b.N of the measured run
+	NsOp float64 `json:"ns_per_op"`          // nanoseconds per operation
+	BOp  int64   `json:"bytes_per_op"`       // -benchmem: allocated bytes per op
+	AOp  int64   `json:"allocs_per_op"`      // -benchmem: allocations per op
+	MBs  float64 `json:"mb_per_s,omitempty"` // throughput when b.SetBytes was used
+
+	hasMem bool
+}
+
+// File is the archived document.
+type File struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// parseLine parses one "BenchmarkName-N  iter  val unit ..." line, or
+// returns false for anything else.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iter, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Op: fields[0], Iter: iter}
+	// The remainder is (value, unit) pairs.
+	ok := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsOp = v
+			ok = true
+		case "B/op":
+			r.BOp = int64(v)
+			r.hasMem = true
+		case "allocs/op":
+			r.AOp = int64(v)
+			r.hasMem = true
+		case "MB/s":
+			r.MBs = v
+		}
+	}
+	return r, ok
+}
+
+// convert reads benchmark text from r, echoes non-benchmark lines to
+// echo, and returns the parsed document.
+func convert(r io.Reader, echo io.Writer, now time.Time) (*File, error) {
+	f := &File{
+		Date:      now.Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+	}
+	var pkg string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 256*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, found := strings.CutPrefix(strings.TrimSpace(line), "pkg: "); found {
+			pkg = rest
+		}
+		if res, ok := parseLine(line); ok {
+			res.Pkg = pkg
+			f.Benchmarks = append(f.Benchmarks, res)
+			continue
+		}
+		fmt.Fprintln(echo, line)
+	}
+	return f, sc.Err()
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	f, err := convert(os.Stdin, os.Stderr, time.Now())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer file.Close()
+		w = file
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks written to %s\n",
+			len(f.Benchmarks), *out)
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/tracing
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDisabledTracer/FragmentSent-8         	795690022	         1.315 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEnabledTracer-8                       	 28x45	       broken line
+BenchmarkEnabledTracer-8                       	 2845618	       420.5 ns/op	     648 B/op	       1 allocs/op
+BenchmarkSenderSend/untraced-8                 	 1635782	       723.0 ns/op	 805.12 MB/s	    2144 B/op	       6 allocs/op
+PASS
+ok  	repro/internal/tracing	5.562s
+pkg: repro/internal/checksum
+BenchmarkSum16-8	100	10.0 ns/op
+`
+
+func TestConvert(t *testing.T) {
+	var echo bytes.Buffer
+	f, err := convert(strings.NewReader(sample), &echo,
+		time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Date != "2026-08-06" {
+		t.Errorf("date = %q", f.Date)
+	}
+	if len(f.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(f.Benchmarks), f.Benchmarks)
+	}
+	b0 := f.Benchmarks[0]
+	if b0.Op != "BenchmarkDisabledTracer/FragmentSent-8" ||
+		b0.Pkg != "repro/internal/tracing" ||
+		b0.Iter != 795690022 || b0.NsOp != 1.315 || b0.BOp != 0 || b0.AOp != 0 {
+		t.Errorf("benchmark 0 = %+v", b0)
+	}
+	b1 := f.Benchmarks[1]
+	if b1.NsOp != 420.5 || b1.BOp != 648 || b1.AOp != 1 {
+		t.Errorf("benchmark 1 = %+v", b1)
+	}
+	if b2 := f.Benchmarks[2]; b2.MBs != 805.12 || b2.AOp != 6 {
+		t.Errorf("benchmark 2 = %+v", b2)
+	}
+	// The second pkg: line must rebind the package.
+	if b3 := f.Benchmarks[3]; b3.Pkg != "repro/internal/checksum" || b3.NsOp != 10.0 {
+		t.Errorf("benchmark 3 = %+v", b3)
+	}
+	// Non-benchmark lines (headers, PASS/ok, the corrupt line) echo.
+	for _, want := range []string{"goos: linux", "PASS", "broken line"} {
+		if !strings.Contains(echo.String(), want) {
+			t.Errorf("echo missing %q:\n%s", want, echo.String())
+		}
+	}
+	if strings.Contains(echo.String(), "420.5 ns/op") {
+		t.Error("parsed benchmark line was also echoed")
+	}
+}
+
+func TestConvertEmpty(t *testing.T) {
+	f, err := convert(strings.NewReader(""), &bytes.Buffer{}, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 0 {
+		t.Errorf("empty input produced %d benchmarks", len(f.Benchmarks))
+	}
+}
+
+func TestParseLineRejects(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"ok  	repro/internal/trace	0.014s",
+		"Benchmark",                     // no fields
+		"BenchmarkX notanumber 1 ns/op", // bad iteration count
+		"BenchmarkX 100 1 furlongs/op",  // no ns/op pair at all
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

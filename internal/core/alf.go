@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/tracing"
 	"repro/internal/xcode"
 )
 
@@ -179,6 +180,11 @@ type Config struct {
 	// the unified registry, labeled stream=<StreamID>. A nil registry
 	// costs one branch per event (see internal/metrics).
 	Metrics *metrics.Registry
+	// Tracer, if non-nil, records this endpoint's per-ADU lifecycle
+	// events (submit, fragment tx/rx, NACKs, delivery/loss/expiry)
+	// with the span recorder. A nil tracer costs one branch per event
+	// (see internal/tracing).
+	Tracer *tracing.Tracer
 }
 
 func (c *Config) fill() {

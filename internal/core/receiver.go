@@ -207,6 +207,7 @@ func (r *Receiver) HandlePacket(pkt []byte) error {
 	r.placeFragment(h.Name, p, h.FragOff, payload)
 	r.Stats.Fragments++
 	r.Stats.FragmentBytes += int64(h.FragLen)
+	r.cfg.Tracer.FragmentReceived(r.cfg.StreamID, h.Name, h.FragOff, h.FragLen, false)
 
 	// A newly placed fragment may make an FEC group reconstructible
 	// (all-but-one present, parity held).
@@ -253,6 +254,7 @@ func (r *Receiver) handleParity(h *header, p *partial, payload []byte) {
 	}
 	p.parities[h.FragOff] = append([]byte(nil), payload...)
 	r.Stats.ParityFrags++
+	r.cfg.Tracer.FragmentReceived(r.cfg.StreamID, h.Name, h.FragOff, h.FragLen, true)
 	r.tryReconstruct(h.Name, p, h.FragOff)
 }
 
@@ -372,6 +374,7 @@ func (r *Receiver) complete(name uint64, p *partial) {
 		// A damaged ADU is a lost ADU (§5): discard it whole and let
 		// recovery request it again.
 		r.Stats.ChecksumFails++
+		r.cfg.Tracer.ADUChecksumFailed(r.cfg.StreamID, name)
 		r.missings[name] = &missing{noticed: r.sched.Now(), nacks: p.nacks}
 		r.armScan()
 		return
@@ -383,6 +386,7 @@ func (r *Receiver) complete(name uint64, p *partial) {
 	r.Stats.ADUsDelivered++
 	r.m.aduLatency.ObserveDuration(r.sched.Now().Sub(p.firstSeen))
 	r.m.aduBytes.Observe(int64(p.total))
+	r.cfg.Tracer.ADUDelivered(r.cfg.StreamID, name, p.total)
 	if r.OnADU != nil {
 		r.OnADU(ADU{Name: name, Tag: p.tag, Syntax: p.syntax, Data: p.buf})
 	}
@@ -413,6 +417,7 @@ func (r *Receiver) onScan() {
 	giveUp := func(name uint64) {
 		r.Stats.ADUsLost++
 		r.settle(name)
+		r.cfg.Tracer.ADULost(r.cfg.StreamID, name)
 		if r.OnLost != nil {
 			r.OnLost(name)
 		}
@@ -476,6 +481,7 @@ func (r *Receiver) onScan() {
 		r.Stats.CtrlSent++
 		r.Stats.NacksSent += int64(len(nacks))
 		r.lastCum = r.cum
+		r.cfg.Tracer.NacksSent(r.cfg.StreamID, nacks)
 		_ = r.send(encodeControl(&control{Stream: r.cfg.StreamID, Cum: r.cum, Nacks: nacks}))
 	}
 

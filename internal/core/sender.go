@@ -112,6 +112,7 @@ func (s *Sender) onHeartbeat() {
 	s.hbMisses++
 	if s.emittedNext > 0 {
 		s.Stats.Heartbeats++
+		s.cfg.Tracer.HeartbeatSent(s.cfg.StreamID, s.emittedNext)
 		_ = s.send(encodeHeartbeat(s.cfg.StreamID, s.emittedNext))
 	}
 	s.hb.Reset(s.hbInterval())
@@ -165,6 +166,7 @@ func (s *Sender) onRetire() {
 			s.bufBytes -= len(saved.wire)
 			delete(s.buffered, name)
 			s.Stats.DeadlineDrops++
+			s.cfg.Tracer.ADUExpired(s.cfg.StreamID, name)
 			if s.OnExpire != nil {
 				s.OnExpire(name)
 			}
@@ -237,6 +239,7 @@ func (s *Sender) Send(tag uint64, syntax xcode.SyntaxID, data []byte) (uint64, e
 	s.Stats.ADUs++
 	s.m.aduBytes.Observe(int64(len(data)))
 	s.m.ilpBytes.Add(int64(len(wire)))
+	s.cfg.Tracer.ADUSubmitted(s.cfg.StreamID, name, tag, len(data))
 	s.transmitADU(name, tag, syntax, wire, ck, false)
 	if !s.hb.Active() {
 		s.hb.Reset(s.cfg.HeartbeatInterval)
@@ -278,7 +281,7 @@ func (s *Sender) transmitADU(name, tag uint64, syntax xcode.SyntaxID, wire []byt
 		pkt := make([]byte, HeaderSize+len(parity))
 		putHeader(pkt, &ph)
 		copy(pkt[HeaderSize:], parity)
-		s.emit(pkt, isResend, 0)
+		s.emit(pkt, isResend, 0, fragRef{name: name, off: parityOff, n: len(parity), parity: true})
 		s.Stats.ParityFrags++
 		parity, inGroup = nil, 0
 	}
@@ -297,7 +300,7 @@ func (s *Sender) transmitADU(name, tag uint64, syntax xcode.SyntaxID, wire []byt
 		if !isResend && off+n >= len(wire) {
 			markNext = name + 1 // final fragment: the ADU is fully emitted
 		}
-		s.emit(pkt, isResend, markNext)
+		s.emit(pkt, isResend, markNext, fragRef{name: name, off: off, n: n})
 		if isResend {
 			s.Stats.ResentFrags++
 		} else {
@@ -327,18 +330,28 @@ func (s *Sender) transmitADU(name, tag uint64, syntax xcode.SyntaxID, wire []byt
 	emitParity()
 }
 
+// fragRef identifies the fragment inside an emitted packet for the
+// tracer (the trace event fires when the packet actually reaches the
+// wire, so a paced fragment records its pacer wait).
+type fragRef struct {
+	name   uint64
+	off, n int
+	parity bool
+}
+
 // emit sends one packet now or at the paced time. Recovery traffic
 // (priority) bypasses the pacer: a retransmission that queues behind
 // the rest of a long paced stream re-creates exactly the head-of-line
 // latency ALF exists to remove, and its volume is bounded by the
 // receiver's NACK backoff.
-func (s *Sender) emit(pkt []byte, priority bool, markNext uint64) {
+func (s *Sender) emit(pkt []byte, priority bool, markNext uint64, ref fragRef) {
 	mark := func() {
 		if markNext > s.emittedNext {
 			s.emittedNext = markNext
 		}
 	}
 	if s.cfg.RateBps <= 0 || priority {
+		s.cfg.Tracer.FragmentSent(s.cfg.StreamID, ref.name, ref.off, ref.n, priority, ref.parity, 0)
 		_ = s.send(pkt)
 		mark()
 		return
@@ -350,11 +363,14 @@ func (s *Sender) emit(pkt []byte, priority bool, markNext uint64) {
 	}
 	s.pacerFree = at.Add(tx)
 	if at == s.sched.Now() {
+		s.cfg.Tracer.FragmentSent(s.cfg.StreamID, ref.name, ref.off, ref.n, false, ref.parity, 0)
 		_ = s.send(pkt)
 		mark()
 		return
 	}
+	wait := at.Sub(s.sched.Now())
 	s.sched.At(at, func() {
+		s.cfg.Tracer.FragmentSent(s.cfg.StreamID, ref.name, ref.off, ref.n, false, ref.parity, wait)
 		_ = s.send(pkt)
 		mark()
 	})

@@ -33,6 +33,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/tracing"
 )
 
 // Stats counts injected fault events.
@@ -60,7 +61,25 @@ type Injector struct {
 	// original is restored when the last overlapping degrade ends.
 	degraded map[*netsim.Link]*degradeState
 
+	tracer *tracing.Tracer
+
 	Stats Stats
+}
+
+// SetTracer binds the injector to the span recorder: every fault
+// window (blackout, flap cycle, degrade, partition) becomes a span on
+// the "faults" track, and drops on the affected links while the
+// window is open link back to it causally. Nil disables (the default).
+func (in *Injector) SetTracer(t *tracing.Tracer) { in.tracer = t }
+
+// linkLabels collects the tracer track names of links so a fault
+// window can be tied to the drops it causes.
+func linkLabels(links []*netsim.Link) []string {
+	names := make([]string, len(links))
+	for i, l := range links {
+		names[i] = l.Label()
+	}
+	return names
 }
 
 type degradeState struct {
@@ -148,8 +167,10 @@ func (in *Injector) up(l *netsim.Link) {
 // start+duration. Queued-packet fate follows each link's DownPolicy.
 func (in *Injector) Blackout(links []*netsim.Link, start, duration sim.Duration) {
 	links = append([]*netsim.Link(nil), links...)
+	var flow uint64
 	in.sched.After(start, func() {
 		in.Stats.Blackouts++
+		flow = in.tracer.FaultBegan("blackout", linkLabels(links))
 		for _, l := range links {
 			in.down(l)
 		}
@@ -158,6 +179,7 @@ func (in *Injector) Blackout(links []*netsim.Link, start, duration sim.Duration)
 		for _, l := range links {
 			in.up(l)
 		}
+		in.tracer.FaultEnded(flow)
 	})
 }
 
@@ -168,7 +190,9 @@ func (in *Injector) Flap(links []*netsim.Link, start, downFor, upFor sim.Duratio
 	period := downFor + upFor
 	for i := 0; i < cycles; i++ {
 		at := start + sim.Duration(i)*period
+		var flow uint64
 		in.sched.After(at, func() {
+			flow = in.tracer.FaultBegan("flap", linkLabels(links))
 			for _, l := range links {
 				in.down(l)
 			}
@@ -178,6 +202,7 @@ func (in *Injector) Flap(links []*netsim.Link, start, downFor, upFor sim.Duratio
 			for _, l := range links {
 				in.up(l)
 			}
+			in.tracer.FaultEnded(flow)
 		})
 	}
 }
@@ -189,8 +214,10 @@ func (in *Injector) Flap(links []*netsim.Link, start, downFor, upFor sim.Duratio
 func (in *Injector) Degrade(links []*netsim.Link, mutate func(netsim.LinkConfig) netsim.LinkConfig,
 	start, duration sim.Duration) {
 	links = append([]*netsim.Link(nil), links...)
+	var flow uint64
 	in.sched.After(start, func() {
 		in.Stats.Degrades++
+		flow = in.tracer.FaultBegan("degrade", linkLabels(links))
 		for _, l := range links {
 			st := in.degraded[l]
 			if st == nil {
@@ -214,6 +241,7 @@ func (in *Injector) Degrade(links []*netsim.Link, mutate func(netsim.LinkConfig)
 				in.Stats.Restores++
 			}
 		}
+		in.tracer.FaultEnded(flow)
 	})
 }
 
@@ -221,8 +249,10 @@ func (in *Injector) Degrade(links []*netsim.Link, mutate func(netsim.LinkConfig)
 // per Network.LinksBetween) at start and heals it at start+duration.
 func (in *Injector) Partition(net *netsim.Network, a, b []*netsim.Node, start, duration sim.Duration) {
 	cut := net.LinksBetween(a, b)
+	var flow uint64
 	in.sched.After(start, func() {
 		in.Stats.Partitions++
+		flow = in.tracer.FaultBegan("partition", linkLabels(cut))
 		for _, l := range cut {
 			in.down(l)
 		}
@@ -231,6 +261,7 @@ func (in *Injector) Partition(net *netsim.Network, a, b []*netsim.Node, start, d
 		for _, l := range cut {
 			in.up(l)
 		}
+		in.tracer.FaultEnded(flow)
 	})
 }
 

@@ -33,6 +33,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/otp"
 	"repro/internal/sim"
+	"repro/internal/tracing"
 	"repro/internal/xcode"
 )
 
@@ -61,6 +62,10 @@ type Config struct {
 	// Metrics, if non-nil, wires every layer of the rig into the
 	// registry so a caller (cmd/alfchaos) can print the full tree.
 	Metrics *metrics.Registry
+	// Tracer, if non-nil, records the whole run as per-ADU lifecycle
+	// spans (ALF endpoints, OTP endpoints, every link, every fault
+	// window), so a violating run can be dumped as a timeline.
+	Tracer *tracing.Tracer
 }
 
 func (c *Config) fill() {
@@ -118,6 +123,10 @@ type Result struct {
 	TrunkHeld      int64
 
 	Violations []string
+	// ViolatedADUs names the ALF ADUs whose delivery accounting broke
+	// (duplicated, both-delivered-and-lost, or unaccounted for), so a
+	// caller holding the run's tracer can dump their timelines.
+	ViolatedADUs []uint64
 }
 
 // Passed reports whether every invariant held.
@@ -162,6 +171,7 @@ func Run(cfg Config) (*Result, error) {
 	// on the shared trunk, the cut set between the left and right
 	// groups.
 	s := sim.NewScheduler()
+	cfg.Tracer.Bind(s) // the run's clock did not exist when the caller made it
 	net := netsim.New(s, cfg.Seed)
 	alfSrc := net.NewNode("alf-src")
 	otpSrc := net.NewNode("otp-src")
@@ -197,6 +207,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Metrics != nil {
 		net.SetMetrics(cfg.Metrics)
 	}
+	net.SetTracer(cfg.Tracer)
 
 	// ---- ALF stream over the left/right path.
 	aCfg := alf.Config{
@@ -214,6 +225,7 @@ func Run(cfg Config) (*Result, error) {
 		HeartbeatLimit: 1 << 30,
 		ADUDeadline:    400 * time.Millisecond,
 		Metrics:        cfg.Metrics,
+		Tracer:         cfg.Tracer,
 	}
 	snd, err := alf.NewSender(s, func(p []byte) error {
 		return netsim.SendVia(asL, alfDst, p)
@@ -262,6 +274,7 @@ func Run(cfg Config) (*Result, error) {
 		FailThreshold: 8,
 		Metrics:       cfg.Metrics,
 		MetricsLabels: []string{"role=snd"},
+		Tracer:        cfg.Tracer,
 	}
 	oSnd := otp.New(s, func(p []byte) error {
 		return netsim.SendVia(osL, otpDst, p)
@@ -337,6 +350,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Metrics != nil {
 		inj.BindMetrics(cfg.Metrics)
 	}
+	inj.SetTracer(cfg.Tracer)
 	targets := faults.Targets{
 		Net:     net,
 		Trunk:   []*netsim.Link{lr, rl},
@@ -392,6 +406,7 @@ func Run(cfg Config) (*Result, error) {
 	for i := 0; i < cfg.ADUs; i++ {
 		name := uint64(i)
 		d, l := delivered[name], lost[name]
+		broken := true
 		switch {
 		case d > 1:
 			res.violatef("alf: ADU %d delivered %d times", name, d)
@@ -401,6 +416,11 @@ func Run(cfg Config) (*Result, error) {
 			res.violatef("alf: ADU %d both delivered and reported lost", name)
 		case d == 0 && l == 0:
 			res.violatef("alf: ADU %d unaccounted for (neither delivered nor lost)", name)
+		default:
+			broken = false
+		}
+		if broken {
+			res.ViolatedADUs = append(res.ViolatedADUs, name)
 		}
 		if expired[name] > 1 {
 			res.violatef("alf: ADU %d expired %d times at the sender", name, expired[name])

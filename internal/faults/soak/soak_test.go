@@ -6,6 +6,7 @@ import (
 	"time"
 
 	alf "repro/internal/core"
+	"repro/internal/tracing"
 )
 
 // policies cycles the three recovery schemes through the scenario
@@ -161,5 +162,41 @@ func TestLongBlackoutKillsOTP(t *testing.T) {
 	}
 	if res.OTPDelivered >= res.OTPSent {
 		t.Error("dead connection claims full delivery")
+	}
+}
+
+// TestTracedRun: a tracer handed in through Config.Tracer (built
+// before the run's scheduler existed, so exercising the Bind path)
+// must record the whole run, and the analyzer must see every
+// submitted ADU plus the injected fault windows.
+func TestTracedRun(t *testing.T) {
+	tracer := tracing.New(nil)
+	res, err := Run(Config{
+		Seed:     42,
+		Scenario: "blackout",
+		Tracer:   tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracer.Len() == 0 {
+		t.Fatal("tracer bound via Config.Tracer recorded nothing")
+	}
+	rep := tracer.Analyze()
+	if got := len(rep.ADUs); got != 60 {
+		t.Errorf("analyzer saw %d ALF ADUs, want the full 60", got)
+	}
+	if len(rep.Faults) == 0 {
+		t.Error("blackout scenario left no fault spans in the trace")
+	}
+	delivered := 0
+	for _, a := range rep.ADUs {
+		if a.Outcome == "delivered" {
+			delivered++
+		}
+	}
+	if delivered != res.Delivered {
+		t.Errorf("trace says %d delivered, soak result says %d",
+			delivered, res.Delivered)
 	}
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/tracing"
 )
 
 // NodeID identifies a node within one Network.
@@ -56,7 +57,18 @@ type Network struct {
 	nodes   []*Node
 	links   []*Link
 	metrics *metrics.Registry
+	tracer  *tracing.Tracer
 }
+
+// SetTracer binds the topology to the span recorder: every link
+// records queueing, delivery, and drop events (with drop causes) for
+// each packet, identified by sniffing the opaque payload. Nil
+// disables recording (the default; a nil tracer costs one branch per
+// packet event).
+func (n *Network) SetTracer(t *tracing.Tracer) { n.tracer = t }
+
+// Tracer returns the bound span recorder (nil when tracing is off).
+func (n *Network) Tracer() *tracing.Tracer { return n.tracer }
 
 // SetMetrics binds the whole topology to the unified registry: every
 // existing and future link registers its counters (views over
@@ -237,10 +249,11 @@ type LinkStats struct {
 
 // Link is a unidirectional point-to-point pipe.
 type Link struct {
-	net  *Network
-	from *Node
-	to   *Node
-	cfg  LinkConfig
+	net   *Network
+	from  *Node
+	to    *Node
+	cfg   LinkConfig
+	label string // tracer track name: net/<from>-><to>/<idx>
 
 	busyUntil sim.Time
 	queued    int
@@ -255,7 +268,8 @@ func (n *Network) NewLink(from, to *Node, cfg LinkConfig) *Link {
 	if from.net != n || to.net != n {
 		panic("netsim: nodes belong to a different network")
 	}
-	l := &Link{net: n, from: from, to: to, cfg: cfg}
+	l := &Link{net: n, from: from, to: to, cfg: cfg,
+		label: fmt.Sprintf("net/%s->%s/%d", from.name, to.name, len(n.links))}
 	n.links = append(n.links, l)
 	if n.metrics != nil {
 		l.bindMetrics(n.metrics, len(n.links)-1)
@@ -312,6 +326,11 @@ func (l *Link) To() *Node { return l.to }
 
 // Config returns the link configuration.
 func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Label returns the link's stable diagnostic name
+// ("net/<from>-><to>/<idx>"), the track name under which the tracer
+// records this link's events.
+func (l *Link) Label() string { return l.label }
 
 // UpdateConfig replaces the link configuration at runtime. Packets
 // already serializing keep their committed departure times; new sends
@@ -379,10 +398,12 @@ func (l *Link) send(payload []byte, finalTo NodeID) error {
 	}
 	if l.down && l.cfg.OnDown == DropOnDown {
 		l.Stats.DownDrops++
+		l.net.tracer.PacketDropped(l.label, "down", payload)
 		return nil
 	}
 	if l.cfg.QueueLimit > 0 && l.queued+len(l.held) >= l.cfg.QueueLimit {
 		l.Stats.QueueDrops++
+		l.net.tracer.PacketDropped(l.label, "queue", payload)
 		return nil
 	}
 	l.Stats.Sent++
@@ -406,6 +427,7 @@ func (l *Link) enqueue(pkt *Packet) {
 		start = now
 	}
 	txEnd := start.Add(l.serialization(len(pkt.Payload)))
+	l.net.tracer.PacketQueued(l.label, pkt.Payload, start.Sub(now), txEnd.Sub(start))
 	l.busyUntil = txEnd
 	l.net.Sched.At(txEnd, func() {
 		l.queued--
@@ -428,6 +450,7 @@ func (l *Link) depart(pkt *Packet) {
 			l.hold(pkt)
 		} else {
 			l.Stats.DownDrops++
+			l.net.tracer.PacketDropped(l.label, "down", pkt.Payload)
 		}
 		return
 	}
@@ -435,6 +458,7 @@ func (l *Link) depart(pkt *Packet) {
 
 	if l.lost(rnd) {
 		l.Stats.LineLosses++
+		l.net.tracer.PacketDropped(l.label, "line", pkt.Payload)
 		return
 	}
 
@@ -474,6 +498,7 @@ func (l *Link) schedDeliver(pkt *Packet, delay sim.Duration) {
 	l.net.Sched.After(delay, func() {
 		l.Stats.Delivered++
 		l.Stats.DeliveredBytes += int64(len(pkt.Payload))
+		l.net.tracer.PacketDelivered(l.label, pkt.Payload, delay)
 		l.to.deliver(pkt)
 	})
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/checksum"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/tracing"
 )
 
 // HeaderSize is the fixed OTP segment header length in bytes.
@@ -99,6 +100,11 @@ type Config struct {
 	// label (e.g. "role=snd" / "role=rcv") or the later registration
 	// replaces the earlier one's views.
 	MetricsLabels []string
+	// Tracer, if non-nil, records this endpoint's per-message lifecycle
+	// events (message submit, segment tx/rx, head-of-line stalls) with
+	// the span recorder. Both ends of a connection may share one tracer;
+	// events merge by ConnID. A nil tracer costs one branch per event.
+	Tracer *tracing.Tracer
 }
 
 func (c *Config) fill() {
@@ -164,12 +170,13 @@ type Conn struct {
 	OnDead func()
 
 	// Sender state (absolute stream offsets).
-	sndUna  int64  // oldest unacknowledged
-	sndNxt  int64  // next offset to transmit
-	sndEnd  int64  // end of data written by the application
-	sndBuf  []byte // bytes [sndUna, sndEnd)
-	peerWnd int    // last advertised window from peer
-	dupAcks int
+	sndUna   int64  // oldest unacknowledged
+	sndNxt   int64  // next offset to transmit
+	sndEnd   int64  // end of data written by the application
+	sndBuf   []byte // bytes [sndUna, sndEnd)
+	msgIndex uint64 // Send calls so far (the tracer's message identity)
+	peerWnd  int    // last advertised window from peer
+	dupAcks  int
 	// Loss recovery (NewReno shape): while in recovery, each partial
 	// ACK retransmits the next hole immediately instead of waiting out
 	// another RTO.
@@ -259,6 +266,8 @@ func (c *Conn) Send(data []byte) error {
 	if c.Buffered()+len(data) > c.cfg.SendBuffer {
 		return fmt.Errorf("%w: %d queued", ErrBufferFull, c.Buffered())
 	}
+	c.cfg.Tracer.MessageSubmitted(c.cfg.ConnID, c.msgIndex, c.sndEnd, len(data))
+	c.msgIndex++
 	c.sndBuf = append(c.sndBuf, data...)
 	c.sndEnd += int64(len(data))
 	c.pump()
@@ -307,6 +316,7 @@ func (c *Conn) transmit(seq int64, payload []byte, isRetx bool) {
 	seg := c.makeSegment(flagData|flagAck, seq, payload)
 	c.Stats.SegmentsSent++
 	c.m.segBytes.Observe(int64(len(payload)))
+	c.cfg.Tracer.SegmentSent(c.cfg.ConnID, seq, len(payload), isRetx)
 	if isRetx {
 		c.Stats.Retransmits++
 	} else {
@@ -572,7 +582,9 @@ func (c *Conn) handleData(seq int64, payload []byte) {
 			// First data held back by a gap: head-of-line stall opens.
 			c.stalled = true
 			c.stallStart = c.sched.Now()
+			c.cfg.Tracer.StallOpened(c.cfg.ConnID, c.rcvNxt)
 		}
+		c.cfg.Tracer.SegmentBuffered(c.cfg.ConnID, seq, len(payload))
 		c.ooo[seq] = append([]byte(nil), payload...)
 		c.oooBytes += len(payload)
 		c.scheduleAck()
@@ -604,11 +616,13 @@ func (c *Conn) handleData(seq int64, payload []byte) {
 		// head-of-line stall ends.
 		c.stalled = false
 		c.m.holStall.ObserveDuration(c.sched.Now().Sub(c.stallStart))
+		c.cfg.Tracer.StallClosed(c.cfg.ConnID, c.sched.Now().Sub(c.stallStart))
 	}
 	c.scheduleAck()
 }
 
 func (c *Conn) deliver(p []byte) {
+	c.cfg.Tracer.SegmentDelivered(c.cfg.ConnID, c.rcvNxt, len(p))
 	c.rcvNxt += int64(len(p))
 	c.Stats.BytesDelivered += int64(len(p))
 	if c.OnData != nil {

@@ -93,7 +93,10 @@ func describeALF(pkt []byte) string {
 		}
 		return fmt.Sprintf("alf HB stream=%d next=%d", pkt[1], binary.BigEndian.Uint64(pkt[2:10]))
 	default:
-		return fmt.Sprintf("alf: unknown type %d (%d bytes)", pkt[0], len(pkt))
+		// Hex, zero-padded: unknown type bytes are usually protocol
+		// collisions or corruption, and those read naturally in hex
+		// ("unknown type 0x41" is printable 'A', not "65").
+		return fmt.Sprintf("alf: unknown type 0x%02X (%d bytes)", pkt[0], len(pkt))
 	}
 }
 

@@ -99,6 +99,45 @@ func TestDescribeNeverPanics(t *testing.T) {
 	}
 }
 
+// TestDescribeUnknownType pins the rendering of type bytes no ALF
+// packet uses: an explicit hex line, never a misparse of another
+// format and never a panic.
+func TestDescribeUnknownType(t *testing.T) {
+	cases := []struct {
+		pkt  []byte
+		want string
+	}{
+		{[]byte{0x00}, "alf: unknown type 0x00 (1 bytes)"},
+		{[]byte{0x41, 1, 2, 3}, "alf: unknown type 0x41 (4 bytes)"},
+		{[]byte{0xFF, 0xFF}, "alf: unknown type 0xFF (2 bytes)"},
+	}
+	for _, c := range cases {
+		if got := Describe(ALF, c.pkt); got != c.want {
+			t.Errorf("Describe(%v) = %q, want %q", c.pkt, got, c.want)
+		}
+	}
+}
+
+// FuzzDescribe drives both decoders with arbitrary bytes. Seeds cover
+// every known type byte plus unknown ones, so the corpus exercises the
+// real parse paths, not just the early-exit guards.
+func FuzzDescribe(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 9, 0, 0, 0, 0, 0, 0, 0, 7})             // ALF data, truncated
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 0, 0}) // ALF ctrl shape
+	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 0, 0, 5, 0, 0})       // ALF hb shape
+	f.Add([]byte{0x41, 0x41, 0x41, 0x41})                   // unknown type
+	f.Add([]byte{0xFF})                                     // unknown type, minimal
+	f.Add(make([]byte, 64))                                 // zeros
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		for _, proto := range []Proto{ALF, OTP} {
+			if line := Describe(proto, pkt); line == "" {
+				t.Errorf("Describe(%d, %x) returned empty", proto, pkt)
+			}
+		}
+	})
+}
+
 func TestLoggerEndToEnd(t *testing.T) {
 	s := sim.NewScheduler()
 	n := netsim.New(s, 1)

@@ -1,0 +1,171 @@
+package tracing
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Terminal renderings of an analyzed trace: a run summary, a per-unit
+// attribution table, and a single-ADU timeline. All output is
+// deterministic (virtual timestamps, sorted iteration).
+
+func fmtTime(t sim.Time) string {
+	if t == Unset {
+		return "-"
+	}
+	return fmt.Sprintf("%.3fms", float64(t)/1e6)
+}
+
+func fmtDur(d sim.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d)/1e6)
+}
+
+// WriteSummary prints run-level totals: ADU and message outcomes,
+// drops by cause, stall and fault window counts.
+func (r *Report) WriteSummary(w io.Writer) {
+	var delivered, lost, expired, pending int
+	var retx, drops, nacks int
+	for _, a := range r.ADUs {
+		switch a.Outcome {
+		case "delivered":
+			delivered++
+		case "lost":
+			lost++
+		case "expired":
+			expired++
+		default:
+			pending++
+		}
+		retx += a.Retx
+		drops += a.Drops
+		nacks += a.Nacks
+	}
+	fmt.Fprintf(w, "trace: %s simulated\n", fmtTime(r.End))
+	if len(r.ADUs) > 0 {
+		fmt.Fprintf(w, "alf: %d ADUs  delivered=%d lost=%d expired=%d pending=%d  nacks=%d retx=%d frag-drops=%d\n",
+			len(r.ADUs), delivered, lost, expired, pending, nacks, retx, drops)
+	}
+	if len(r.Msgs) > 0 {
+		var mDelivered, mRetx int
+		var stallTotal sim.Duration
+		for _, m := range r.Msgs {
+			if m.Outcome == "delivered" {
+				mDelivered++
+			}
+			mRetx += m.Retx
+			stallTotal += m.Attr.HOLStall
+		}
+		fmt.Fprintf(w, "otp: %d msgs  delivered=%d pending=%d  retx-overlaps=%d  hol-stall(sum over msgs)=%s\n",
+			len(r.Msgs), mDelivered, len(r.Msgs)-mDelivered, mRetx, fmtDur(stallTotal))
+	}
+	if len(r.Stalls) > 0 {
+		var total sim.Duration
+		for _, s := range r.Stalls {
+			end := s.End
+			if end == Unset {
+				end = r.End
+			}
+			total += end.Sub(s.Begin)
+		}
+		fmt.Fprintf(w, "stalls: %d windows, %s blocked\n", len(r.Stalls), fmtDur(total))
+	}
+	if len(r.Drops) > 0 {
+		var causes []string
+		for c := range r.Drops {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		fmt.Fprintf(w, "net drops:")
+		for _, c := range causes {
+			fmt.Fprintf(w, " %s=%d", c, r.Drops[c])
+		}
+		fmt.Fprintln(w)
+	}
+	if len(r.Faults) > 0 {
+		byKind := make(map[string]int)
+		for _, f := range r.Faults {
+			byKind[f.Kind]++
+		}
+		var kinds []string
+		for k := range byKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Fprintf(w, "faults: %d windows", len(r.Faults))
+		for _, k := range kinds {
+			fmt.Fprintf(w, " %s=%d", k, byKind[k])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteAttrTable prints the per-unit latency attribution table: one
+// row per ALF ADU and per OTP message, phases in milliseconds.
+func (r *Report) WriteAttrTable(w io.Writer) {
+	if len(r.ADUs) > 0 {
+		fmt.Fprintf(w, "%-14s %-10s %9s %9s %9s %9s %9s %9s %5s %5s\n",
+			"alf adu", "outcome", "total", "pace", "transit", "retx-wait", "reasm", "hol", "retx", "drops")
+		for _, a := range r.ADUs {
+			fmt.Fprintf(w, "%-14s %-10s %9s %9s %9s %9s %9s %9s %5d %5d\n",
+				fmt.Sprintf("s%d/%d", a.Stream, a.Name), a.Outcome,
+				fmtDur(a.Attr.Total), fmtDur(a.Attr.SenderPace), fmtDur(a.Attr.NetTransit),
+				fmtDur(a.Attr.RetransmitWait), fmtDur(a.Attr.Reassembly), fmtDur(a.Attr.HOLStall),
+				a.Retx, a.Drops)
+		}
+	}
+	if len(r.Msgs) > 0 {
+		if len(r.ADUs) > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%-14s %-10s %9s %9s %9s %9s %9s %9s %5s %5s\n",
+			"otp msg", "outcome", "total", "pace", "transit", "retx-wait", "reasm", "hol", "retx", "drops")
+		for _, m := range r.Msgs {
+			fmt.Fprintf(w, "%-14s %-10s %9s %9s %9s %9s %9s %9s %5d %5d\n",
+				fmt.Sprintf("c%d/%d", m.Conn, m.Index), m.Outcome,
+				fmtDur(m.Attr.Total), fmtDur(m.Attr.SenderPace), fmtDur(m.Attr.NetTransit),
+				fmtDur(m.Attr.RetransmitWait), fmtDur(m.Attr.Reassembly), fmtDur(m.Attr.HOLStall),
+				m.Retx, m.Drops)
+		}
+	}
+}
+
+// WriteADU prints the full event timeline of one ADU, or a note when
+// the trace never saw it.
+func (r *Report) WriteADU(w io.Writer, stream byte, name uint64) {
+	a := r.ADU(stream, name)
+	if a == nil {
+		fmt.Fprintf(w, "adu s%d/%d: not in trace\n", stream, name)
+		return
+	}
+	fmt.Fprintf(w, "adu s%d/%d: %s, %d bytes, tag %d\n", a.Stream, a.Name, a.Outcome, a.Size, a.Tag)
+	for _, e := range a.Events {
+		fmt.Fprintf(w, "  %10s  %-13s %s", fmtTime(e.At), e.Kind.String(), e.Track)
+		switch e.Kind {
+		case FragTX, FragRetx, ParityTX, FragRX, ParityRX:
+			fmt.Fprintf(w, "  off=%d len=%d", e.Off, e.Len)
+			if e.Dur > 0 {
+				fmt.Fprintf(w, " pacer-wait=%s", fmtDur(e.Dur))
+			}
+		case NetQueue:
+			fmt.Fprintf(w, "  queue-wait=%s ser=%s", fmtDur(e.Dur), fmtDur(e.Dur2))
+		case NetDeliver:
+			fmt.Fprintf(w, "  prop=%s", fmtDur(e.Dur))
+		case NetDrop:
+			fmt.Fprintf(w, "  cause=%s", e.Cause)
+		case ADUSubmit, ADUDeliver:
+			fmt.Fprintf(w, "  %d bytes", e.Len)
+		}
+		if e.Flow != 0 {
+			fmt.Fprintf(w, "  [flow %d]", e.Flow)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  attribution: total=%s pace=%s transit=%s retx-wait=%s reasm=%s (queue=%s ser=%s prop=%s across %d frags)\n",
+		fmtDur(a.Attr.Total), fmtDur(a.Attr.SenderPace), fmtDur(a.Attr.NetTransit),
+		fmtDur(a.Attr.RetransmitWait), fmtDur(a.Attr.Reassembly),
+		fmtDur(a.Attr.Queueing), fmtDur(a.Attr.Serialization), fmtDur(a.Attr.Propagation),
+		a.Frags+a.Retx+a.Parity)
+}

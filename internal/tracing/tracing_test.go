@@ -1,0 +1,365 @@
+package tracing
+
+import (
+	"encoding/binary"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/checksum"
+	"repro/internal/sim"
+)
+
+// mkALFData builds a checksum-valid ALF DATA fragment header (no
+// payload needed for sniffing: only the 34-byte header is verified).
+func mkALFData(stream byte, name uint64, off uint32, fragLen uint16) []byte {
+	pkt := make([]byte, 34+int(fragLen))
+	pkt[0] = 1
+	pkt[1] = stream
+	binary.BigEndian.PutUint64(pkt[2:10], name)
+	binary.BigEndian.PutUint32(pkt[20:24], uint32(fragLen))
+	binary.BigEndian.PutUint32(pkt[24:28], off)
+	binary.BigEndian.PutUint16(pkt[28:30], fragLen)
+	binary.BigEndian.PutUint16(pkt[32:34], checksum.Sum16(pkt[:34]))
+	return pkt
+}
+
+// mkALFCtrl builds a checksum-valid control message with k NACKs.
+func mkALFCtrl(stream byte, nacks []uint64) []byte {
+	msg := make([]byte, 12+8*len(nacks)+2)
+	msg[0] = 2
+	msg[1] = stream
+	binary.BigEndian.PutUint16(msg[10:12], uint16(len(nacks)))
+	for i, n := range nacks {
+		binary.BigEndian.PutUint64(msg[12+8*i:], n)
+	}
+	binary.BigEndian.PutUint16(msg[len(msg)-2:], checksum.Sum16(msg))
+	return msg
+}
+
+// mkALFHB builds a checksum-valid heartbeat.
+func mkALFHB(stream byte, next uint64) []byte {
+	msg := make([]byte, 12)
+	msg[0] = 3
+	msg[1] = stream
+	binary.BigEndian.PutUint64(msg[2:10], next)
+	binary.BigEndian.PutUint16(msg[10:12], checksum.Sum16(msg))
+	return msg
+}
+
+// mkOTP builds a checksum-valid OTP segment.
+func mkOTP(flags, conn byte, seq uint32, payload []byte) []byte {
+	seg := make([]byte, 16+len(payload))
+	seg[0] = flags
+	seg[1] = conn
+	binary.BigEndian.PutUint32(seg[2:6], seq)
+	binary.BigEndian.PutUint16(seg[14:16], uint16(len(payload)))
+	copy(seg[16:], payload)
+	binary.BigEndian.PutUint16(seg[12:14], checksum.Sum16(seg))
+	return seg
+}
+
+func TestSniff(t *testing.T) {
+	cases := []struct {
+		name string
+		pkt  []byte
+		want refKind
+		id   byte
+		adu  uint64
+		off  int64
+		len_ int
+	}{
+		{"alf-data", mkALFData(3, 77, 1024, 512), refALFData, 3, 77, 1024, 0},
+		{"alf-ctrl", mkALFCtrl(5, []uint64{9, 11}), refALFCtrl, 5, 0, 0, 0},
+		{"alf-hb", mkALFHB(7, 42), refALFHB, 7, 42, 0, 0},
+		{"otp-data", mkOTP(1, 2, 9000, make([]byte, 300)), refOTPData, 2, 0, 9000, 300},
+		{"otp-ack", mkOTP(2, 4, 0, nil), refOTPAck, 4, 0, 0, 0},
+		{"empty", nil, refNone, 0, 0, 0, 0},
+		{"garbage", []byte{9, 9, 9, 9}, refNone, 0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var e Event
+			got := sniffInto(&e, c.pkt)
+			if got != c.want {
+				t.Fatalf("sniff = %d, want %d", got, c.want)
+			}
+			if e.ID != c.id || e.ADU != c.adu || e.Off != c.off {
+				t.Errorf("identity = (%d, %d, %d), want (%d, %d, %d)",
+					e.ID, e.ADU, e.Off, c.id, c.adu, c.off)
+			}
+			if c.want == refOTPData && e.Len != c.len_ {
+				t.Errorf("otp data Len = %d, want payload length %d", e.Len, c.len_)
+			}
+		})
+	}
+}
+
+func TestSniffRejectsCorrupt(t *testing.T) {
+	pkt := mkALFData(3, 77, 0, 64)
+	pkt[5] ^= 0xFF // damage the name; header checksum must catch it
+	var e Event
+	if got := sniffInto(&e, pkt); got != refNone {
+		t.Fatalf("corrupt ALF header sniffed as %d, want refNone", got)
+	}
+	seg := mkOTP(1, 2, 100, make([]byte, 50))
+	seg[20] ^= 0xFF
+	if got := sniffInto(&e, seg); got != refNone {
+		t.Fatalf("corrupt OTP segment sniffed as %d, want refNone", got)
+	}
+}
+
+// TestNilTracer drives every recording and query method on a nil
+// tracer: nothing may panic, and exports must still produce valid
+// empty output.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	tr.SetLimit(10)
+	tr.ADUSubmitted(0, 1, 2, 3)
+	tr.FragmentSent(0, 1, 0, 10, false, false, 0)
+	tr.HeartbeatSent(0, 1)
+	tr.FragmentReceived(0, 1, 0, 10, false)
+	tr.ADUChecksumFailed(0, 1)
+	tr.ADUDelivered(0, 1, 10)
+	tr.ADULost(0, 1)
+	tr.ADUExpired(0, 1)
+	tr.NacksSent(0, []uint64{1, 2})
+	tr.MessageSubmitted(0, 0, 0, 10)
+	tr.SegmentSent(0, 0, 10, false)
+	tr.SegmentBuffered(0, 0, 10)
+	tr.SegmentDelivered(0, 0, 10)
+	tr.StallOpened(0, 0)
+	tr.StallClosed(0, time.Millisecond)
+	tr.PacketQueued("l", nil, 0, 0)
+	tr.PacketDelivered("l", nil, 0)
+	tr.PacketDropped("l", "down", nil)
+	if f := tr.FaultBegan("blackout", []string{"l"}); f != 0 {
+		t.Errorf("nil FaultBegan = %d, want 0", f)
+	}
+	tr.FaultEnded(0)
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Errorf("nil tracer holds events")
+	}
+	rep := tr.Analyze()
+	if len(rep.ADUs) != 0 || len(rep.Msgs) != 0 {
+		t.Errorf("nil Analyze not empty")
+	}
+	if err := tr.WritePerfetto(io.Discard); err != nil {
+		t.Errorf("nil WritePerfetto: %v", err)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	s := sim.NewScheduler()
+	tr := New(s)
+	tr.SetLimit(3)
+	for i := 0; i < 10; i++ {
+		tr.ADUSubmitted(0, uint64(i), 0, 1)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped != 7 {
+		t.Fatalf("Dropped = %d, want 7", tr.Dropped)
+	}
+}
+
+// TestNackFlow checks the NACK → retransmission → arrival causal
+// chain: all three events must share one non-zero flow id, and the
+// flow must be consumed by the arrival.
+func TestNackFlow(t *testing.T) {
+	s := sim.NewScheduler()
+	tr := New(s)
+	tr.NacksSent(1, []uint64{7})
+	tr.FragmentSent(1, 7, 0, 100, true, false, 0) // retransmission
+	tr.FragmentReceived(1, 7, 0, 100, false)
+
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("recorded %d events, want 3", len(ev))
+	}
+	flow := ev[0].Flow
+	if flow == 0 {
+		t.Fatal("NackTX has no flow id")
+	}
+	if ev[1].Kind != FragRetx || ev[1].Flow != flow {
+		t.Errorf("retx event = %v flow %d, want FragRetx flow %d", ev[1].Kind, ev[1].Flow, flow)
+	}
+	if ev[2].Flow != flow {
+		t.Errorf("arrival flow = %d, want %d", ev[2].Flow, flow)
+	}
+	// Flow consumed: a later unrelated arrival must not reuse it.
+	tr.FragmentReceived(1, 7, 0, 100, false)
+	if got := tr.Events()[3].Flow; got != 0 {
+		t.Errorf("second arrival flow = %d, want 0 (consumed)", got)
+	}
+}
+
+// TestDropStallFaultFlow checks the fault window → drop → stall chain:
+// a down-drop of an OTP data segment inside a fault window carries the
+// window's flow, and the stall blocked on the dropped range inherits
+// it.
+func TestDropStallFaultFlow(t *testing.T) {
+	s := sim.NewScheduler()
+	tr := New(s)
+	flow := tr.FaultBegan("blackout", []string{"net/a->b/0"})
+	if flow == 0 {
+		t.Fatal("FaultBegan returned 0")
+	}
+	seg := mkOTP(1, 2, 5000, make([]byte, 1000))
+	tr.PacketDropped("net/a->b/0", "down", seg)
+	tr.FaultEnded(flow)
+	tr.StallOpened(2, 5000) // receiver blocked exactly at the lost range
+
+	var drop, stall *Event
+	for i := range tr.Events() {
+		e := &tr.Events()[i]
+		switch e.Kind {
+		case NetDrop:
+			drop = e
+		case StallOpen:
+			stall = e
+		}
+	}
+	if drop == nil || drop.Flow != flow {
+		t.Fatalf("drop flow = %v, want fault flow %d", drop, flow)
+	}
+	if drop.Proto != ProtoOTPData || drop.Off != 5000 || drop.Len != 1000 {
+		t.Errorf("drop sniffed as %q [%d,+%d)", drop.Proto, drop.Off, drop.Len)
+	}
+	if stall == nil || stall.Flow != flow {
+		t.Fatalf("stall flow = %v, want fault flow %d", stall, flow)
+	}
+	// A stall blocked outside any remembered range carries no flow.
+	tr.PacketDropped("net/a->b/0", "line", mkOTP(1, 2, 9000, make([]byte, 100)))
+	tr.StallOpened(2, 20000)
+	last := tr.Events()[len(tr.Events())-1]
+	if last.Flow != 0 {
+		t.Errorf("unrelated stall flow = %d, want 0", last.Flow)
+	}
+}
+
+// TestAnalyzeALF replays a hand-built ALF lifecycle with known virtual
+// times and checks the reconstructed attribution.
+func TestAnalyzeALF(t *testing.T) {
+	s := sim.NewScheduler()
+	tr := New(s)
+	at := func(d sim.Duration, fn func()) { s.At(sim.Time(0).Add(d), fn) }
+
+	// submit at 0, first tx at 1ms, arrival 5ms, nack 20ms,
+	// retx arrival 30ms, delivered 31ms.
+	at(0, func() { tr.ADUSubmitted(0, 1, 99, 2000) })
+	at(1*time.Millisecond, func() {
+		tr.FragmentSent(0, 1, 0, 1000, false, false, time.Millisecond)
+		tr.FragmentSent(0, 1, 1000, 1000, false, false, time.Millisecond)
+	})
+	at(5*time.Millisecond, func() { tr.FragmentReceived(0, 1, 0, 1000, false) })
+	at(20*time.Millisecond, func() { tr.NacksSent(0, []uint64{1}) })
+	at(25*time.Millisecond, func() { tr.FragmentSent(0, 1, 1000, 1000, true, false, 0) })
+	at(30*time.Millisecond, func() { tr.FragmentReceived(0, 1, 1000, 1000, false) })
+	at(31*time.Millisecond, func() { tr.ADUDelivered(0, 1, 2000) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	a := tr.Analyze().ADU(0, 1)
+	if a == nil {
+		t.Fatal("ADU (0,1) not reconstructed")
+	}
+	if a.Outcome != "delivered" || a.Tag != 99 || a.Size != 2000 {
+		t.Errorf("outcome=%q tag=%d size=%d", a.Outcome, a.Tag, a.Size)
+	}
+	if a.Frags != 2 || a.Retx != 1 || a.Nacks != 1 {
+		t.Errorf("frags=%d retx=%d nacks=%d, want 2/1/1", a.Frags, a.Retx, a.Nacks)
+	}
+	want := Attribution{
+		SenderPace:     time.Millisecond,      // 0 → 1ms
+		NetTransit:     4 * time.Millisecond,  // 1 → 5ms
+		RetransmitWait: 10 * time.Millisecond, // nack 20 → arrival 30ms
+		Reassembly:     16 * time.Millisecond, // (31-5) - 10
+		Total:          31 * time.Millisecond,
+	}
+	if a.Attr != want {
+		t.Errorf("attribution = %+v, want %+v", a.Attr, want)
+	}
+	if sum := a.Attr.SenderPace + a.Attr.NetTransit + a.Attr.RetransmitWait +
+		a.Attr.Reassembly + a.Attr.HOLStall; sum != a.Attr.Total {
+		t.Errorf("phases sum to %v, Total %v", sum, a.Attr.Total)
+	}
+}
+
+// TestAnalyzeOTP replays an OTP message sequence with one gap and
+// checks HOL-stall attribution: the message behind the gap pays
+// RetransmitWait, the ones after it pay HOLStall.
+func TestAnalyzeOTP(t *testing.T) {
+	s := sim.NewScheduler()
+	tr := New(s)
+	at := func(d sim.Duration, fn func()) { s.At(sim.Time(0).Add(d), fn) }
+
+	// msgs 0,1,2 of 1000 B each; segment 1 is lost and recovered late.
+	at(0, func() {
+		tr.MessageSubmitted(0, 0, 0, 1000)
+		tr.SegmentSent(0, 0, 1000, false)
+	})
+	at(1*time.Millisecond, func() {
+		tr.MessageSubmitted(0, 1, 1000, 1000)
+		tr.SegmentSent(0, 1000, 1000, false) // lost on the wire
+	})
+	at(2*time.Millisecond, func() {
+		tr.MessageSubmitted(0, 2, 2000, 1000)
+		tr.SegmentSent(0, 2000, 1000, false)
+	})
+	at(5*time.Millisecond, func() { tr.SegmentDelivered(0, 0, 1000) })
+	at(7*time.Millisecond, func() {
+		tr.SegmentBuffered(0, 2000, 1000) // msg 2 arrives out of order
+		tr.StallOpened(0, 1000)
+	})
+	at(40*time.Millisecond, func() { tr.SegmentSent(0, 1000, 1000, true) })
+	at(45*time.Millisecond, func() {
+		tr.StallClosed(0, 38*time.Millisecond)
+		tr.SegmentDelivered(0, 1000, 2000) // delivery drains through msg 2
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := tr.Analyze()
+	m1 := rep.Msg(0, 1)
+	m2 := rep.Msg(0, 2)
+	if m1 == nil || m2 == nil {
+		t.Fatal("messages not reconstructed")
+	}
+	if m1.Outcome != "delivered" || m2.Outcome != "delivered" {
+		t.Fatalf("outcomes %q %q", m1.Outcome, m2.Outcome)
+	}
+	if m1.Retx != 1 {
+		t.Errorf("msg1 retx = %d, want 1", m1.Retx)
+	}
+	// msg 1: first (only) arrival at 45ms is also full coverage — no
+	// stall, its wait is all RetransmitWait.
+	if m1.Attr.HOLStall != 0 {
+		t.Errorf("msg1 HOLStall = %v, want 0", m1.Attr.HOLStall)
+	}
+	// msg 2: all bytes arrived at 7ms, deliverable only at 45ms.
+	if want := 38 * time.Millisecond; m2.Attr.HOLStall != want {
+		t.Errorf("msg2 HOLStall = %v, want %v", m2.Attr.HOLStall, want)
+	}
+	if len(rep.Stalls) != 1 {
+		t.Fatalf("stalls = %d, want 1", len(rep.Stalls))
+	}
+	st := rep.Stalls[0]
+	if st.Begin != sim.Time(0).Add(7*time.Millisecond) || st.End != sim.Time(0).Add(45*time.Millisecond) {
+		t.Errorf("stall [%v, %v]", st.Begin, st.End)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := ADUSubmit; k <= FaultEnd; k++ {
+		if s := k.String(); s == "" || s[:4] == "kind" {
+			t.Errorf("Kind %d has no name (%q)", k, s)
+		}
+	}
+	if s := Kind(200).String(); s != "kind-200" {
+		t.Errorf("unknown kind = %q", s)
+	}
+}
