@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json fuzz soak check
+.PHONY: build test race vet bench bench-json fuzz soak alloc-guard check
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The packages with real concurrency: the metrics registry is the only
-# code meant to be hit from multiple goroutines, and parallel hosts the
-# worker-pool dispatch experiment.
+# The packages with real concurrency: the metrics registry is meant to
+# be hit from multiple goroutines, parallel hosts the worker-pool
+# dispatch experiment, and buf's refcounts are atomic by contract.
 race:
-	$(GO) test -race ./internal/metrics ./internal/core ./internal/otp ./internal/parallel
+	$(GO) test -race ./internal/metrics ./internal/core ./internal/otp ./internal/parallel ./internal/buf ./internal/netsim ./internal/sim
 
 vet:
 	$(GO) vet ./...
@@ -43,4 +43,12 @@ fuzz:
 soak:
 	$(GO) test -run 'TestScenarioMatrix|TestBlackoutShedsAndReports|TestDeterminism' -v ./internal/faults/soak
 
-check: build vet test race fuzz soak
+# Allocation-regression gate: the steady-state datapath
+# (send -> forward -> deliver, plus the FEC paths) must run at
+# 0 allocs/op. The tests assert testing.AllocsPerRun == 0; the bench
+# run reports the same numbers with -benchmem for the log.
+alloc-guard:
+	$(GO) test -count=1 -run 'ZeroAlloc' -v ./internal/core
+	$(GO) test -run '^$$' -bench 'SendSteadyState|ReceivePath|FECSender|FECRepair|NetsimForward' -benchmem ./internal/core ./internal/netsim
+
+check: build vet test race fuzz soak alloc-guard

@@ -40,6 +40,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/buf"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/tracing"
@@ -86,8 +87,26 @@ type ADU struct {
 	// Syntax identifies the transfer syntax of Data.
 	Syntax xcode.SyntaxID
 	// Data is the complete ADU payload (plaintext). The receiver
-	// transfers ownership to the application.
+	// transfers ownership to the application. The backing store is a
+	// pooled reassembly buffer: an application that is done with the
+	// bytes may call Release to recycle it, or simply keep the slice
+	// forever (the pool never reclaims a buffer that is not released).
 	Data []byte
+
+	ref *buf.Ref // pooled backing store of Data; nil after Release
+}
+
+// Release returns the ADU's pooled reassembly buffer for reuse. Data
+// (and anything aliasing it) is invalid afterwards. Optional: an ADU
+// that is never released is simply garbage-collected like any slice,
+// but a steady-state consumer that releases keeps the datapath
+// allocation-free. Releasing twice is a no-op.
+func (a *ADU) Release() {
+	if a.ref != nil {
+		a.ref.Release()
+		a.ref = nil
+		a.Data = nil
+	}
 }
 
 // Errors. Test with errors.Is.
@@ -185,6 +204,12 @@ type Config struct {
 	// with the span recorder. A nil tracer costs one branch per event
 	// (see internal/tracing).
 	Tracer *tracing.Tracer
+	// Pool supplies the pooled buffers the datapath runs on: the
+	// sender's wire fragments (with header headroom), FEC parity
+	// accumulators, and the receiver's reassembly buffers. Default
+	// buf.Default, shared with netsim so the recycling loop closes end
+	// to end.
+	Pool *buf.Pool
 }
 
 func (c *Config) fill() {
@@ -226,6 +251,9 @@ func (c *Config) fill() {
 	}
 	if c.NameWindow == 0 {
 		c.NameWindow = 1 << 20
+	}
+	if c.Pool == nil {
+		c.Pool = buf.Default
 	}
 }
 

@@ -179,8 +179,8 @@ func TestLossOfFragmentLosesWholeADUOnly(t *testing.T) {
 	var snd *Sender
 	send := func(pkt []byte) error {
 		if dropOne && PacketType(pkt) == 1 {
-			h, _ := parseHeader(pkt)
-			if h != nil && h.Name == 5 && h.FragOff == 256 {
+			h, err := parseHeader(pkt)
+			if err == nil && h.Name == 5 && h.FragOff == 256 {
 				dropOne = false
 				return nil
 			}
@@ -574,8 +574,8 @@ func TestHeaderRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *got != h {
-		t.Errorf("roundtrip: %+v != %+v", *got, h)
+	if got != h {
+		t.Errorf("roundtrip: %+v != %+v", got, h)
 	}
 }
 

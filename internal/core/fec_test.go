@@ -31,7 +31,7 @@ func newFECRig(t *testing.T, cfg Config, linkCfg netsim.LinkConfig, seed int64) 
 	r := &fecRig{sched: s}
 	send := func(pkt []byte) error {
 		if r.drop != nil && PacketType(pkt) == 1 {
-			if h, err := parseHeader(pkt); err == nil && r.drop(h) {
+			if h, err := parseHeader(pkt); err == nil && r.drop(&h) {
 				return nil
 			}
 		}

@@ -31,7 +31,7 @@ func newDropRig(t *testing.T, cfg Config, always, once map[uint64]bool) *dropRig
 	d := &dropRig{pair: p, dropped: map[uint64]int{}}
 	send := func(pkt []byte) error {
 		if PacketType(pkt) == 1 {
-			if h, _ := parseHeader(pkt); h != nil {
+			if h, err := parseHeader(pkt); err == nil {
 				if always[h.Name] || (once[h.Name] && d.dropped[h.Name] == 0) {
 					d.dropped[h.Name]++
 					return nil

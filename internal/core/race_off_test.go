@@ -1,0 +1,8 @@
+//go:build !race
+
+package alf
+
+// raceEnabled reports whether the race detector is active. The
+// detector's instrumentation allocates, so allocation-regression tests
+// skip themselves under -race.
+const raceEnabled = false

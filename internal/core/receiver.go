@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/buf"
 	"repro/internal/ilp"
 	"repro/internal/scramble"
 	"repro/internal/sim"
@@ -30,16 +31,20 @@ type ReceiverStats struct {
 	FECRecovered  int64 // data fragments rebuilt from parity
 }
 
-// partial is an ADU under reassembly.
+// partial is an ADU under reassembly. The struct (with its maps) and
+// the pooled reassembly buffer are both recycled: the struct when the
+// ADU settles, the buffer when the delivered ADU is Released (or
+// immediately, on checksum failure or give-up).
 type partial struct {
 	tag       uint64
 	syntax    xcode.SyntaxID
 	flags     byte
 	check     uint16
 	total     int
+	ref       *buf.Ref // pooled reassembly buffer; buf aliases it
 	buf       []byte
-	got       map[int]int    // data fragment offset -> length (duplicate detection)
-	parities  map[int][]byte // FEC group start offset -> parity payload
+	got       map[int]int      // data fragment offset -> length (duplicate detection)
+	parities  map[int]*buf.Ref // FEC group start offset -> pooled parity payload
 	gotBytes  int
 	sum       uint64 // accumulated plaintext partial checksum
 	firstSeen sim.Time
@@ -84,13 +89,14 @@ type Receiver struct {
 	// recovery exhausted). The application decides what that means.
 	OnLost func(name uint64)
 
-	partials map[uint64]*partial
-	missings map[uint64]*missing
-	resolved map[uint64]bool // settled names >= cum
-	cum      uint64          // every name < cum is settled
-	highest  uint64          // highest name observed
-	anySeen  bool
-	lastCum  uint64 // last cum value reported to the sender
+	partials  map[uint64]*partial
+	freeParts []*partial // settled partial structs awaiting reuse
+	missings  map[uint64]*missing
+	resolved  map[uint64]bool // settled names >= cum
+	cum       uint64          // every name < cum is settled
+	highest   uint64          // highest name observed
+	anySeen   bool
+	lastCum   uint64 // last cum value reported to the sender
 
 	scan *sim.Timer
 
@@ -174,16 +180,7 @@ func (r *Receiver) HandlePacket(pkt []byte) error {
 
 	p, ok := r.partials[h.Name]
 	if !ok {
-		p = &partial{
-			tag:       h.Tag,
-			syntax:    h.Syntax,
-			flags:     h.Flags &^ flagParity,
-			check:     h.ADUCheck,
-			total:     h.TotalLen,
-			buf:       make([]byte, h.TotalLen),
-			got:       make(map[int]int),
-			firstSeen: r.sched.Now(),
-		}
+		p = r.getPartial(&h)
 		r.partials[h.Name] = p
 		r.armScan()
 	} else if p.total != h.TotalLen || p.tag != h.Tag || p.check != h.ADUCheck {
@@ -193,7 +190,7 @@ func (r *Receiver) HandlePacket(pkt []byte) error {
 	payload := pkt[HeaderSize : HeaderSize+h.FragLen]
 
 	if h.Flags&flagParity != 0 {
-		r.handleParity(h, p, payload)
+		r.handleParity(&h, p, payload)
 		if p.gotBytes >= p.total {
 			r.complete(h.Name, p)
 		}
@@ -220,6 +217,46 @@ func (r *Receiver) HandlePacket(pkt []byte) error {
 	return nil
 }
 
+// getPartial returns reassembly state for a new ADU: a recycled struct
+// (maps cleared on recycle) around a pooled buffer sized to the ADU.
+func (r *Receiver) getPartial(h *header) *partial {
+	var p *partial
+	if n := len(r.freeParts); n > 0 {
+		p = r.freeParts[n-1]
+		r.freeParts[n-1] = nil
+		r.freeParts = r.freeParts[:n-1]
+	} else {
+		p = &partial{got: make(map[int]int)}
+	}
+	ref := r.cfg.Pool.Get(h.TotalLen)
+	*p = partial{
+		tag:       h.Tag,
+		syntax:    h.Syntax,
+		flags:     h.Flags &^ flagParity,
+		check:     h.ADUCheck,
+		total:     h.TotalLen,
+		ref:       ref,
+		buf:       ref.Bytes(),
+		got:       p.got,
+		parities:  p.parities,
+		firstSeen: r.sched.Now(),
+	}
+	return p
+}
+
+// putPartial recycles a settled ADU's reassembly struct. The caller
+// has already released or handed off p.ref; held parity buffers are
+// returned to the pool here.
+func (r *Receiver) putPartial(p *partial) {
+	clear(p.got)
+	for off, parity := range p.parities {
+		parity.Release()
+		delete(p.parities, off)
+	}
+	p.ref, p.buf = nil, nil
+	r.freeParts = append(r.freeParts, p)
+}
+
 // placeFragment runs the stage-one single data pass: place the fragment
 // (or a reconstructed one), decipher it, and extend the ADU checksum —
 // fused (§6).
@@ -243,16 +280,19 @@ func (r *Receiver) groupStart(off int) int {
 	return off / group * group
 }
 
-// handleParity stores an FEC parity fragment and attempts recovery.
+// handleParity stores an FEC parity fragment (in a pooled buffer) and
+// attempts recovery.
 func (r *Receiver) handleParity(h *header, p *partial, payload []byte) {
 	if p.parities == nil {
-		p.parities = make(map[int][]byte)
+		p.parities = make(map[int]*buf.Ref)
 	}
 	if _, dup := p.parities[h.FragOff]; dup {
 		r.Stats.DupFragments++
 		return
 	}
-	p.parities[h.FragOff] = append([]byte(nil), payload...)
+	pr := r.cfg.Pool.Get(len(payload))
+	copy(pr.Bytes(), payload)
+	p.parities[h.FragOff] = pr
 	r.Stats.ParityFrags++
 	r.cfg.Tracer.FragmentReceived(r.cfg.StreamID, h.Name, h.FragOff, h.FragLen, true)
 	r.tryReconstruct(h.Name, p, h.FragOff)
@@ -284,32 +324,33 @@ func (r *Receiver) tryReconstruct(name uint64, p *partial, gs int) {
 	if missingLen > fp {
 		missingLen = fp
 	}
-	if missingLen > len(parity) {
+	if missingLen > parity.Len() {
 		// A malformed parity shorter than the fragment it must rebuild.
 		r.Stats.Inconsistent++
 		return
 	}
 	// recon = parity XOR (wire bytes of every present fragment in the
-	// group). p.buf holds plaintext, so re-encipher present fragments
-	// when the stream is keyed — recovery-path cost only.
-	recon := append([]byte(nil), parity...)
+	// group), accumulated word-wise. p.buf holds plaintext, so when the
+	// stream is keyed, fold the keystream for each present fragment's
+	// positions back in after its XOR — the same bytes as re-enciphering
+	// the fragment first, without a scratch copy. Recovery-path cost
+	// only; the pooled accumulator goes straight back after placement.
+	recon := r.cfg.Pool.Get(parity.Len())
+	rb := recon.Bytes()
+	ilp.WordCopy(rb, parity.Bytes())
 	for off := gs; off < p.total && off < gs+r.cfg.FECGroup*fp; off += fp {
 		n, have := p.got[off]
 		if !have {
 			continue
 		}
-		chunk := p.buf[off : off+n]
+		ilp.XORWords(rb, p.buf[off:off+n])
 		if p.flags&flagEnciphered != 0 {
-			tmp := append([]byte(nil), chunk...)
-			scramble.XORAt(r.cfg.Key^name, off, tmp)
-			chunk = tmp
-		}
-		for i := range chunk {
-			recon[i] ^= chunk[i]
+			scramble.XORAt(r.cfg.Key^name, off, rb[:n])
 		}
 	}
 	r.Stats.FECRecovered++
-	r.placeFragment(name, p, missingOff, recon[:missingLen])
+	r.placeFragment(name, p, missingOff, rb[:missingLen])
+	recon.Release()
 }
 
 // handleHeartbeat learns the declared stream extent: names below next
@@ -367,7 +408,10 @@ func (r *Receiver) noteGapsUpTo(name uint64) {
 	}
 }
 
-// complete finishes stage two for one ADU: verify and deliver.
+// complete finishes stage two for one ADU: verify and deliver. The
+// reassembly buffer's reference passes to the delivered ADU (released
+// at once when no one is listening); the partial struct is recycled
+// either way.
 func (r *Receiver) complete(name uint64, p *partial) {
 	delete(r.partials, name)
 	if ilp.FinishSum(p.sum) != p.check {
@@ -377,6 +421,8 @@ func (r *Receiver) complete(name uint64, p *partial) {
 		r.cfg.Tracer.ADUChecksumFailed(r.cfg.StreamID, name)
 		r.missings[name] = &missing{noticed: r.sched.Now(), nacks: p.nacks}
 		r.armScan()
+		p.ref.Release()
+		r.putPartial(p)
 		return
 	}
 	if name > r.cum {
@@ -387,8 +433,12 @@ func (r *Receiver) complete(name uint64, p *partial) {
 	r.m.aduLatency.ObserveDuration(r.sched.Now().Sub(p.firstSeen))
 	r.m.aduBytes.Observe(int64(p.total))
 	r.cfg.Tracer.ADUDelivered(r.cfg.StreamID, name, p.total)
+	adu := ADU{Name: name, Tag: p.tag, Syntax: p.syntax, Data: p.buf, ref: p.ref}
+	r.putPartial(p)
 	if r.OnADU != nil {
-		r.OnADU(ADU{Name: name, Tag: p.tag, Syntax: p.syntax, Data: p.buf})
+		r.OnADU(adu)
+	} else {
+		adu.Release()
 	}
 }
 
@@ -463,6 +513,8 @@ func (r *Receiver) onScan() {
 		case r.cfg.Policy == NoRetransmit || p.nacks >= r.cfg.MaxNacks:
 			if age >= r.cfg.HoldTime {
 				delete(r.partials, name)
+				p.ref.Release()
+				r.putPartial(p)
 				giveUp(name)
 			}
 		case nackDue(now, p.firstSeen, p.lastNack, p.nacks, r.cfg.NackDelay):

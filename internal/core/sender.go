@@ -3,7 +3,7 @@ package alf
 import (
 	"fmt"
 
-	"repro/internal/checksum"
+	"repro/internal/buf"
 	"repro/internal/ilp"
 	"repro/internal/sim"
 	"repro/internal/xcode"
@@ -26,14 +26,34 @@ type SenderStats struct {
 	ParityFrags   int64 // FEC parity fragments emitted
 }
 
-// savedADU is the retention copy under SenderBuffered: the wire-form
-// (possibly enciphered) payload plus everything needed to re-fragment.
+// wireFrag is one stamped wire packet (header + fragment payload) in a
+// pooled buffer, plus the fragment coordinates the tracer and stats
+// need at emission time.
+type wireFrag struct {
+	ref    *buf.Ref // header+payload view; holder owns one count
+	off, n int      // fragment offset and payload length within the ADU
+	parity bool
+}
+
+// savedADU is the retention state under SenderBuffered: the stamped
+// wire packets themselves, retained by reference. A resend re-emits
+// the same buffers (every header field is identical on resend), so
+// retransmission copies nothing.
 type savedADU struct {
-	tag    uint64
-	syntax xcode.SyntaxID
-	wire   []byte
-	check  uint16
-	sentAt sim.Time // submission time, for the ADUDeadline sweep
+	tag     uint64
+	syntax  xcode.SyntaxID
+	frags   []wireFrag
+	wireLen int // ADU payload bytes (BufferedBytes accounting)
+	check   uint16
+	sentAt  sim.Time // submission time, for the ADUDeadline sweep
+}
+
+// release drops the retention references.
+func (a *savedADU) release() {
+	for _, f := range a.frags {
+		f.ref.Release()
+	}
+	a.frags = nil
 }
 
 // Sender is the sending half of an ALF stream.
@@ -41,6 +61,17 @@ type Sender struct {
 	cfg   Config
 	sched *sim.Scheduler
 	send  func([]byte) error
+
+	// SendRef, if set, transmits wire packets as pooled refcounted
+	// buffers (the callee owns the passed count — netsim.Link.SendRef
+	// has exactly this contract), making emission zero-copy end to end.
+	// When nil, packets go through the send function and the buffer is
+	// recycled as soon as it returns.
+	SendRef func(*buf.Ref) error
+
+	// scratch is the packetization worklist, reused across Sends so the
+	// steady-state path does not allocate.
+	scratch []wireFrag
 
 	// OnResend supplies ADU payloads under the AppRecompute policy: the
 	// application regenerates the data (and its tag and syntax) for a
@@ -163,7 +194,8 @@ func (s *Sender) onRetire() {
 	for name, saved := range s.buffered {
 		due := saved.sentAt.Add(s.cfg.ADUDeadline)
 		if due <= now {
-			s.bufBytes -= len(saved.wire)
+			s.bufBytes -= saved.wireLen
+			saved.release()
 			delete(s.buffered, name)
 			s.Stats.DeadlineDrops++
 			s.cfg.Tracer.ADUExpired(s.cfg.StreamID, name)
@@ -207,29 +239,29 @@ func (s *Sender) SetRate(bps float64) { s.cfg.RateBps = bps }
 // returns the assigned ADU name.
 //
 // The data is copied (and under a non-zero Key, enciphered) before
-// return; the caller may reuse the buffer.
+// return; the caller may reuse the buffer. The copy is the gather
+// pass: each fragment's wire payload is produced directly in a pooled
+// buffer with header headroom, checksummed in the same fused pass, so
+// packetization touches the data exactly once and allocates nothing in
+// steady state.
 func (s *Sender) Send(tag uint64, syntax xcode.SyntaxID, data []byte) (uint64, error) {
 	if len(data) > s.cfg.MaxADU {
 		return 0, fmt.Errorf("%w: %d bytes", ErrADUTooLarge, len(data))
 	}
+	if s.cfg.Policy == SenderBuffered && s.bufBytes+len(data) > s.cfg.BufferLimit {
+		return 0, fmt.Errorf("%w: %d retained", ErrBufferLimit, s.bufBytes)
+	}
 	name := s.nextName
 
-	// One fused pass: plaintext checksum accumulated while the wire
-	// form (enciphered under (Key, name) when enabled) is produced.
-	wire := make([]byte, len(data))
-	var ck uint16
-	if s.cfg.Key != 0 {
-		ck = ilp.FinishSum(ilp.FusedEncryptCopySum(wire, data, s.cfg.Key^name, 0))
-	} else {
-		ck = ilp.FinishSum(ilp.FusedCopySum(wire, data))
-	}
+	frags, ck := s.packetize(name, data, s.scratch[:0])
+	s.stamp(name, tag, syntax, len(data), ck, frags)
 
-	if s.cfg.Policy == SenderBuffered {
-		if s.bufBytes+len(wire) > s.cfg.BufferLimit {
-			return 0, fmt.Errorf("%w: %d retained", ErrBufferLimit, s.bufBytes)
-		}
-		s.buffered[name] = &savedADU{tag: tag, syntax: syntax, wire: wire, check: ck, sentAt: s.sched.Now()}
-		s.bufBytes += len(wire)
+	retain := s.cfg.Policy == SenderBuffered
+	if retain {
+		saved := &savedADU{tag: tag, syntax: syntax, wireLen: len(data), check: ck, sentAt: s.sched.Now()}
+		saved.frags = append(saved.frags, frags...)
+		s.buffered[name] = saved
+		s.bufBytes += len(data)
 		if s.cfg.ADUDeadline > 0 && !s.retire.Active() {
 			s.retire.Reset(s.cfg.ADUDeadline)
 		}
@@ -238,96 +270,131 @@ func (s *Sender) Send(tag uint64, syntax xcode.SyntaxID, data []byte) (uint64, e
 	s.nextName++
 	s.Stats.ADUs++
 	s.m.aduBytes.Observe(int64(len(data)))
-	s.m.ilpBytes.Add(int64(len(wire)))
+	s.m.ilpBytes.Add(int64(len(data)))
 	s.cfg.Tracer.ADUSubmitted(s.cfg.StreamID, name, tag, len(data))
-	s.transmitADU(name, tag, syntax, wire, ck, false)
+	s.emitFrags(name, frags, false, retain)
+	s.scratch = frags[:0]
 	if !s.hb.Active() {
 		s.hb.Reset(s.cfg.HeartbeatInterval)
 	}
 	return name, nil
 }
 
-// transmitADU fragments and (re)sends one ADU's wire payload, emitting
-// an XOR parity fragment after every FECGroup data fragments when FEC
-// is enabled.
-func (s *Sender) transmitADU(name, tag uint64, syntax xcode.SyntaxID, wire []byte, ck uint16, isResend bool) {
+// packetize runs the single fused pass over data: each fragment's wire
+// payload (enciphered under (Key, name) when keyed) is written straight
+// into a pooled buffer with HeaderSize headroom while the plaintext
+// checksum accumulates, and FEC parity accumulates word-wise into its
+// own pooled buffer. Fragment offsets are 8-aligned, so the per-
+// fragment partial sums add into the whole-ADU checksum. It appends to
+// frags (data fragments interleaved with each group's parity, in
+// emission order) and returns the list and the ADU checksum.
+func (s *Sender) packetize(name uint64, data []byte, frags []wireFrag) ([]wireFrag, uint16) {
+	frag := s.cfg.fragPayload()
+	keyed := s.cfg.Key != 0
+	var (
+		sum       uint64
+		parity    *buf.Ref // XOR accumulator for the current group
+		parityOff int      // group start offset
+		inGroup   int      // data fragments accumulated
+	)
+	off := 0
+	for {
+		n := len(data) - off
+		if n > frag {
+			n = frag
+		}
+		ref := s.cfg.Pool.GetHeadroom(n, HeaderSize)
+		w := ref.Bytes()
+		if keyed {
+			sum += ilp.FusedEncryptCopySum(w, data[off:off+n], s.cfg.Key^name, off)
+		} else {
+			sum += ilp.FusedCopySum(w, data[off:off+n])
+		}
+		frags = append(frags, wireFrag{ref: ref, off: off, n: n})
+		if s.cfg.FECGroup > 0 {
+			if inGroup == 0 {
+				parityOff = off
+				parity = s.cfg.Pool.GetHeadroom(n, HeaderSize) // first (longest) fragment of the group
+				ilp.WordCopy(parity.Bytes(), w)
+			} else {
+				ilp.XORWords(parity.Bytes(), w)
+			}
+			inGroup++
+			if inGroup == s.cfg.FECGroup {
+				frags = append(frags, wireFrag{ref: parity, off: parityOff, n: parity.Len(), parity: true})
+				parity, inGroup = nil, 0
+			}
+		}
+		off += n
+		if off >= len(data) {
+			break
+		}
+	}
+	if inGroup > 0 && parity != nil {
+		frags = append(frags, wireFrag{ref: parity, off: parityOff, n: parity.Len(), parity: true})
+	}
+	return frags, ilp.FinishSum(sum)
+}
+
+// stamp prepends and fills each fragment's header in place: the
+// payload, already in its final position, never moves.
+func (s *Sender) stamp(name, tag uint64, syntax xcode.SyntaxID, totalLen int, ck uint16, frags []wireFrag) {
 	var flags byte
 	if s.cfg.Key != 0 {
 		flags |= flagEnciphered
 	}
-	frag := s.cfg.fragPayload()
 	h := header{
 		Stream:   s.cfg.StreamID,
 		Name:     name,
 		Tag:      tag,
 		Syntax:   syntax,
-		Flags:    flags,
-		TotalLen: len(wire),
+		TotalLen: totalLen,
 		ADUCheck: ck,
 	}
-	var (
-		parity    []byte // XOR accumulator for the current group
-		parityOff int    // group start offset
-		inGroup   int    // data fragments accumulated
-	)
-	emitParity := func() {
-		if s.cfg.FECGroup <= 0 || inGroup == 0 {
-			return
+	for _, f := range frags {
+		h.Flags = flags
+		if f.parity {
+			h.Flags |= flagParity
 		}
-		ph := h
-		ph.Flags |= flagParity
-		ph.FragOff = parityOff
-		ph.FragLen = len(parity)
-		pkt := make([]byte, HeaderSize+len(parity))
-		putHeader(pkt, &ph)
-		copy(pkt[HeaderSize:], parity)
-		s.emit(pkt, isResend, 0, fragRef{name: name, off: parityOff, n: len(parity), parity: true})
-		s.Stats.ParityFrags++
-		parity, inGroup = nil, 0
+		h.FragOff = f.off
+		h.FragLen = f.n
+		putHeader(f.ref.Prepend(HeaderSize), &h)
 	}
-	off := 0
-	for {
-		n := len(wire) - off
-		if n > frag {
-			n = frag
+}
+
+// emitFrags (re)sends an ADU's stamped wire packets in order. With
+// retain the caller keeps its counts (retention, ready for resend) and
+// the network gets its own; otherwise ownership transfers outright.
+func (s *Sender) emitFrags(name uint64, frags []wireFrag, isResend, retain bool) {
+	lastData := -1
+	if !isResend {
+		for i := len(frags) - 1; i >= 0; i-- {
+			if !frags[i].parity {
+				lastData = i
+				break
+			}
 		}
-		h.FragOff = off
-		h.FragLen = n
-		pkt := make([]byte, HeaderSize+n)
-		putHeader(pkt, &h)
-		copy(pkt[HeaderSize:], wire[off:off+n])
+	}
+	for i, f := range frags {
 		markNext := uint64(0)
-		if !isResend && off+n >= len(wire) {
+		if i == lastData {
 			markNext = name + 1 // final fragment: the ADU is fully emitted
 		}
-		s.emit(pkt, isResend, markNext, fragRef{name: name, off: off, n: n})
-		if isResend {
+		ref := f.ref
+		if retain {
+			ref = ref.Retain()
+		}
+		s.emit(ref, isResend, markNext, fragRef{name: name, off: f.off, n: f.n, parity: f.parity})
+		switch {
+		case f.parity:
+			s.Stats.ParityFrags++
+		case isResend:
 			s.Stats.ResentFrags++
-		} else {
+		default:
 			s.Stats.Fragments++
-			s.Stats.Bytes += int64(n)
-		}
-		if s.cfg.FECGroup > 0 {
-			if inGroup == 0 {
-				parityOff = off
-				parity = make([]byte, n) // first (longest) fragment of the group
-				copy(parity, wire[off:off+n])
-			} else {
-				for i := 0; i < n; i++ {
-					parity[i] ^= wire[off+i]
-				}
-			}
-			inGroup++
-			if inGroup == s.cfg.FECGroup {
-				emitParity()
-			}
-		}
-		off += n
-		if off >= len(wire) {
-			break
+			s.Stats.Bytes += int64(f.n)
 		}
 	}
-	emitParity()
 }
 
 // fragRef identifies the fragment inside an emitted packet for the
@@ -339,24 +406,39 @@ type fragRef struct {
 	parity bool
 }
 
-// emit sends one packet now or at the paced time. Recovery traffic
-// (priority) bypasses the pacer: a retransmission that queues behind
-// the rest of a long paced stream re-creates exactly the head-of-line
-// latency ALF exists to remove, and its volume is bounded by the
-// receiver's NACK backoff.
-func (s *Sender) emit(pkt []byte, priority bool, markNext uint64, ref fragRef) {
-	mark := func() {
-		if markNext > s.emittedNext {
-			s.emittedNext = markNext
-		}
-	}
-	if s.cfg.RateBps <= 0 || priority {
-		s.cfg.Tracer.FragmentSent(s.cfg.StreamID, ref.name, ref.off, ref.n, priority, ref.parity, 0)
-		_ = s.send(pkt)
-		mark()
+// sendOut hands one wire packet to the network, preferring the
+// zero-copy refcounted path. Ownership of the count transfers either
+// way: the fallback recycles the buffer as soon as the send function
+// returns (which must not retain the slice).
+func (s *Sender) sendOut(pkt *buf.Ref) {
+	if s.SendRef != nil {
+		_ = s.SendRef(pkt)
 		return
 	}
-	tx := sim.Duration(float64(len(pkt)*8) / s.cfg.RateBps * 1e9)
+	_ = s.send(pkt.Bytes())
+	pkt.Release()
+}
+
+// mark advances the emitted-extent watermark the heartbeat declares.
+func (s *Sender) mark(markNext uint64) {
+	if markNext > s.emittedNext {
+		s.emittedNext = markNext
+	}
+}
+
+// emit sends one packet now or at the paced time, consuming the
+// caller's reference. Recovery traffic (priority) bypasses the pacer:
+// a retransmission that queues behind the rest of a long paced stream
+// re-creates exactly the head-of-line latency ALF exists to remove,
+// and its volume is bounded by the receiver's NACK backoff.
+func (s *Sender) emit(pkt *buf.Ref, priority bool, markNext uint64, ref fragRef) {
+	if s.cfg.RateBps <= 0 || priority {
+		s.cfg.Tracer.FragmentSent(s.cfg.StreamID, ref.name, ref.off, ref.n, priority, ref.parity, 0)
+		s.sendOut(pkt)
+		s.mark(markNext)
+		return
+	}
+	tx := sim.Duration(float64(pkt.Len()*8) / s.cfg.RateBps * 1e9)
 	at := s.sched.Now()
 	if s.pacerFree > at {
 		at = s.pacerFree
@@ -364,15 +446,15 @@ func (s *Sender) emit(pkt []byte, priority bool, markNext uint64, ref fragRef) {
 	s.pacerFree = at.Add(tx)
 	if at == s.sched.Now() {
 		s.cfg.Tracer.FragmentSent(s.cfg.StreamID, ref.name, ref.off, ref.n, false, ref.parity, 0)
-		_ = s.send(pkt)
-		mark()
+		s.sendOut(pkt)
+		s.mark(markNext)
 		return
 	}
 	wait := at.Sub(s.sched.Now())
 	s.sched.At(at, func() {
 		s.cfg.Tracer.FragmentSent(s.cfg.StreamID, ref.name, ref.off, ref.n, false, ref.parity, wait)
-		_ = s.send(pkt)
-		mark()
+		s.sendOut(pkt)
+		s.mark(markNext)
 	})
 }
 
@@ -399,7 +481,8 @@ func (s *Sender) HandleControl(pkt []byte) error {
 	// Release everything settled at the receiver.
 	for name, saved := range s.buffered {
 		if name < c.Cum {
-			s.bufBytes -= len(saved.wire)
+			s.bufBytes -= saved.wireLen
+			saved.release()
 			delete(s.buffered, name)
 			s.Stats.Released++
 			if s.OnRelease != nil {
@@ -424,7 +507,9 @@ func (s *Sender) resend(name uint64) {
 			return
 		}
 		s.Stats.ResentADUs++
-		s.transmitADU(name, saved.tag, saved.syntax, saved.wire, saved.check, true)
+		// Zero-copy retransmit: the retained wire packets go out again
+		// as-is (headers are identical on resend).
+		s.emitFrags(name, saved.frags, true, true)
 	case AppRecompute:
 		if s.OnResend == nil {
 			s.Stats.UnfilledNacks++
@@ -435,17 +520,12 @@ func (s *Sender) resend(name uint64) {
 			s.Stats.UnfilledNacks++
 			return
 		}
-		wire := make([]byte, len(data))
-		var ck uint16
-		if s.cfg.Key != 0 {
-			ck = ilp.FinishSum(ilp.FusedEncryptCopySum(wire, data, s.cfg.Key^name, 0))
-		} else {
-			copy(wire, data)
-			ck = checksum.Sum16(data)
-		}
 		s.Stats.RecomputeADUs++
-		s.m.ilpBytes.Add(int64(len(wire)))
-		s.transmitADU(name, tag, syntax, wire, ck, true)
+		s.m.ilpBytes.Add(int64(len(data)))
+		frags, ck := s.packetize(name, data, s.scratch[:0])
+		s.stamp(name, tag, syntax, len(data), ck, frags)
+		s.emitFrags(name, frags, true, false)
+		s.scratch = frags[:0]
 	case NoRetransmit:
 		// Receivers on NoRetransmit streams do not NACK; ignore any
 		// that arrive.

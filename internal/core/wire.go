@@ -80,18 +80,19 @@ func putHeader(buf []byte, h *header) {
 	binary.BigEndian.PutUint16(buf[32:34], ck)
 }
 
-// parseHeader decodes and verifies a DATA fragment header.
-func parseHeader(pkt []byte) (*header, error) {
+// parseHeader decodes and verifies a DATA fragment header. It returns
+// the header by value so the per-packet hot path does not allocate.
+func parseHeader(pkt []byte) (header, error) {
 	if len(pkt) < HeaderSize {
-		return nil, fmt.Errorf("%w: %d bytes", ErrBadHeader, len(pkt))
+		return header{}, fmt.Errorf("%w: %d bytes", ErrBadHeader, len(pkt))
 	}
 	if !checksum.Verify16(pkt[:HeaderSize]) {
-		return nil, fmt.Errorf("%w: header checksum", ErrBadHeader)
+		return header{}, fmt.Errorf("%w: header checksum", ErrBadHeader)
 	}
 	if pkt[0] != typeData {
-		return nil, fmt.Errorf("%w: type %d", ErrBadHeader, pkt[0])
+		return header{}, fmt.Errorf("%w: type %d", ErrBadHeader, pkt[0])
 	}
-	h := &header{
+	h := header{
 		Stream:   pkt[1],
 		Name:     binary.BigEndian.Uint64(pkt[2:10]),
 		Tag:      binary.BigEndian.Uint64(pkt[10:18]),
@@ -103,15 +104,15 @@ func parseHeader(pkt []byte) (*header, error) {
 		ADUCheck: binary.BigEndian.Uint16(pkt[30:32]),
 	}
 	if len(pkt) < HeaderSize+h.FragLen {
-		return nil, fmt.Errorf("%w: fragment truncated", ErrBadHeader)
+		return header{}, fmt.Errorf("%w: fragment truncated", ErrBadHeader)
 	}
 	if h.TotalLen < 0 || h.FragOff < 0 || h.FragOff+h.FragLen > h.TotalLen {
 		if !(h.TotalLen == 0 && h.FragLen == 0 && h.FragOff == 0) {
-			return nil, fmt.Errorf("%w: bounds (%d+%d of %d)", ErrBadHeader, h.FragOff, h.FragLen, h.TotalLen)
+			return header{}, fmt.Errorf("%w: bounds (%d+%d of %d)", ErrBadHeader, h.FragOff, h.FragLen, h.TotalLen)
 		}
 	}
 	if h.FragOff%8 != 0 {
-		return nil, fmt.Errorf("%w: unaligned fragment offset %d", ErrBadHeader, h.FragOff)
+		return header{}, fmt.Errorf("%w: unaligned fragment offset %d", ErrBadHeader, h.FragOff)
 	}
 	return h, nil
 }

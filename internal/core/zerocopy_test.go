@@ -1,0 +1,116 @@
+package alf
+
+import (
+	"testing"
+
+	"repro/internal/buf"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/xcode"
+)
+
+// TestSendSteadyStateZeroAlloc is the allocation-regression guard for
+// the full datapath: Send -> packetize -> netsim (two hops, router
+// forward) -> HandlePacket -> reassemble -> deliver -> Release. After
+// warmup every buffer comes from the pool and every scheduler event
+// from the freelist, so the steady state must not allocate at all.
+func TestSendSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	s := sim.NewScheduler()
+	n := netsim.New(s, 1)
+	src := n.NewNode("src")
+	rtr := n.NewRouter("rtr")
+	dst := n.NewNode("dst")
+	sl, _ := n.NewDuplex(src, rtr.Node, netsim.LinkConfig{})
+	rd, _ := n.NewDuplex(rtr.Node, dst, netsim.LinkConfig{})
+	rtr.AddRoute(dst, rd)
+
+	snd, err := NewSender(s, func(p []byte) error { return netsim.SendVia(sl, dst, p) },
+		Config{Policy: NoRetransmit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd.SendRef = func(ref *buf.Ref) error { return netsim.SendRefVia(sl, dst, ref) }
+	rcv, err := NewReceiver(s, nil, Config{Policy: NoRetransmit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	rcv.OnADU = func(adu ADU) { delivered++; adu.Release() }
+	dst.SetHandler(func(p *netsim.Packet) { _ = rcv.HandlePacket(p.Payload) })
+
+	data := make([]byte, benchADUBytes)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	name := uint64(0)
+	send := func() {
+		if _, err := snd.Send(name, xcode.SyntaxRaw, data); err != nil {
+			t.Fatal(err)
+		}
+		name++
+		_ = s.RunUntil(s.Now())
+	}
+	// Warm the pools: first ADU provisions buffers, packets, events,
+	// and the receiver's partial struct.
+	for i := 0; i < 8; i++ {
+		send()
+	}
+	if allocs := testing.AllocsPerRun(100, send); allocs != 0 {
+		t.Fatalf("steady-state send->forward->deliver allocates %v allocs/op, want 0", allocs)
+	}
+	if delivered != int(name) {
+		t.Fatalf("delivered %d of %d", delivered, name)
+	}
+}
+
+// TestReceivePathZeroAlloc guards the network-free loopback: the
+// sender's emit path hands each wire fragment straight to the
+// receiver, with FEC parity enabled so the parity accumulators and
+// reconstruction path are covered too.
+func TestReceivePathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	s := sim.NewScheduler()
+	var rcv *Receiver
+	snd, err := NewSender(s, func(p []byte) error { return rcv.HandlePacket(p) },
+		Config{Policy: NoRetransmit, FECGroup: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd.SendRef = func(ref *buf.Ref) error {
+		err := rcv.HandlePacket(ref.Bytes())
+		ref.Release()
+		return err
+	}
+	rcv, err = NewReceiver(s, nil, Config{Policy: NoRetransmit, FECGroup: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	rcv.OnADU = func(adu ADU) { delivered++; adu.Release() }
+
+	data := make([]byte, benchADUBytes)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	name := uint64(0)
+	send := func() {
+		if _, err := snd.Send(name, xcode.SyntaxRaw, data); err != nil {
+			t.Fatal(err)
+		}
+		name++
+	}
+	for i := 0; i < 8; i++ {
+		send()
+	}
+	if allocs := testing.AllocsPerRun(100, send); allocs != 0 {
+		t.Fatalf("loopback send->deliver allocates %v allocs/op, want 0", allocs)
+	}
+	if delivered != int(name) {
+		t.Fatalf("delivered %d of %d", delivered, name)
+	}
+}

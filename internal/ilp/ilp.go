@@ -55,6 +55,33 @@ func WordCopy(dst, src []byte) int {
 	return n
 }
 
+// XORWords XOR-accumulates src into dst (dst[i] ^= src[i]) with the
+// same 8-byte-word, four-way-unrolled loop discipline as WordCopy. It
+// is the FEC parity manipulation: the sender accumulates each data
+// fragment into the group's parity buffer, and the receiver repairs a
+// lost fragment by accumulating the survivors into the parity. It
+// processes min(len(dst), len(src)) bytes and returns the count.
+func XORWords(dst, src []byte) int {
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	i := 0
+	for ; n-i >= 32; i += 32 {
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i+8:], binary.LittleEndian.Uint64(dst[i+8:])^binary.LittleEndian.Uint64(src[i+8:]))
+		binary.LittleEndian.PutUint64(dst[i+16:], binary.LittleEndian.Uint64(dst[i+16:])^binary.LittleEndian.Uint64(src[i+16:]))
+		binary.LittleEndian.PutUint64(dst[i+24:], binary.LittleEndian.Uint64(dst[i+24:])^binary.LittleEndian.Uint64(src[i+24:]))
+	}
+	for ; n-i >= 8; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+	return n
+}
+
 // sumWord adds the four 16-bit lanes of a little-endian word to a
 // byte-swapped one's-complement partial sum. By RFC 1071's byte-order
 // independence property, summing every 16-bit word with its bytes

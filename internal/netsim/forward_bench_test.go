@@ -1,0 +1,42 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkNetsimForward measures the per-packet network cost of a
+// two-hop route (entry link -> router -> exit link) with zero delay and
+// no impairments: the pure packet-handling overhead of the substrate.
+func BenchmarkNetsimForward(b *testing.B) {
+	s := sim.NewScheduler()
+	n := New(s, 1)
+	src := n.NewNode("src")
+	rtr := n.NewRouter("rtr")
+	dst := n.NewNode("dst")
+	first := n.NewLink(src, rtr.Node, LinkConfig{})
+	exit := n.NewLink(rtr.Node, dst, LinkConfig{})
+	rtr.AddRoute(dst, exit)
+
+	got := 0
+	dst.SetHandler(func(p *Packet) { got += len(p.Payload) })
+
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SendVia(first, dst, payload); err != nil {
+			b.Fatal(err)
+		}
+		_ = s.RunUntil(s.Now())
+	}
+	b.StopTimer()
+	if got != b.N*len(payload) {
+		b.Fatalf("delivered %d bytes, want %d", got, b.N*len(payload))
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/buf"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/tracing"
@@ -27,8 +28,14 @@ import (
 // NodeID identifies a node within one Network.
 type NodeID uint16
 
-// Packet is a datagram in flight. Payload is owned by the packet; links
-// copy on send so senders may reuse their buffers.
+// Packet is a datagram in flight. Payload views a pooled refcounted
+// buffer (internal/buf) that the network recycles after delivery: it is
+// valid only for the duration of the handler call, and handlers must
+// not mutate it or retain the slice (or the *Packet) past their return
+// — copy what must outlive the call. Sends via Send copy the caller's
+// slice once into the pool; SendRef hands a buffer over with no copy at
+// all, and routers forward by reference, so a multi-hop path touches
+// the payload bytes zero times.
 type Packet struct {
 	From, To NodeID
 	Payload  []byte
@@ -37,10 +44,15 @@ type Packet struct {
 	// upper layers are expected to catch these; the flag exists so tests
 	// can distinguish "checksum caught it" from "checksum missed it".
 	Corrupted bool
+
+	ref   *buf.Ref // counted payload buffer; nil only transiently
+	link  *Link    // owning link while queued/in flight
+	delay sim.Duration
 }
 
 // Handler consumes packets arriving at a node. Handlers run inside
-// scheduler callbacks: they must not block.
+// scheduler callbacks: they must not block. The packet and its payload
+// are loaned for the duration of the call only (see Packet).
 type Handler func(*Packet)
 
 // ErrTooBig is returned by Send for payloads over the link MTU.
@@ -58,6 +70,35 @@ type Network struct {
 	links   []*Link
 	metrics *metrics.Registry
 	tracer  *tracing.Tracer
+	pool    *buf.Pool
+	freePkt []*Packet // delivered Packet structs awaiting reuse
+}
+
+// SetPool replaces the buffer pool backing Send's single copy. The
+// default is buf.Default, shared with the transport layers so a slab
+// released on delivery is the next one a sender gets. Tests use a
+// private pool to assert recycling.
+func (n *Network) SetPool(p *buf.Pool) { n.pool = p }
+
+// getPacket returns a zeroed Packet, reusing a delivered one.
+func (n *Network) getPacket() *Packet {
+	if ln := len(n.freePkt); ln > 0 {
+		p := n.freePkt[ln-1]
+		n.freePkt[ln-1] = nil
+		n.freePkt = n.freePkt[:ln-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// putPacket releases the packet's payload reference and recycles the
+// struct.
+func (n *Network) putPacket(p *Packet) {
+	if p.ref != nil {
+		p.ref.Release()
+	}
+	*p = Packet{}
+	n.freePkt = append(n.freePkt, p)
 }
 
 // SetTracer binds the topology to the span recorder: every link
@@ -91,7 +132,7 @@ func (n *Network) SetMetrics(r *metrics.Registry) {
 
 // New creates an empty network on sched with a RNG seeded by seed.
 func New(sched *sim.Scheduler, seed int64) *Network {
-	return &Network{Sched: sched, Rand: sim.NewRand(seed)}
+	return &Network{Sched: sched, Rand: sim.NewRand(seed), pool: buf.Default}
 }
 
 // Links returns every link in creation order. The slice is shared;
@@ -380,41 +421,77 @@ func (l *Link) serialization(n int) sim.Duration {
 // QueueLen returns the number of packets waiting for serialization.
 func (l *Link) QueueLen() int { return l.queued }
 
-// Send enqueues payload for transmission. The payload is copied. It
-// returns ErrTooBig for oversize payloads; queue overflow is not an
+// Send enqueues payload for transmission. The payload is copied once
+// into a pooled buffer, so the caller may immediately reuse its slice.
+// It returns ErrTooBig for oversize payloads; queue overflow is not an
 // error (the packet is silently dropped and counted), matching real
 // datagram semantics.
 func (l *Link) Send(payload []byte) error {
 	return l.send(payload, l.to.id)
 }
 
-// send is the common transmission path. finalTo is the ultimate
-// destination recorded in the packet, which routers use to select the
-// next hop (it may differ from l.to when the packet is mid-route).
+// SendRef enqueues a pooled buffer with no copy. The caller's
+// reference count transfers to the link — including on drop and error
+// returns — so a caller that needs the buffer afterwards must Retain
+// before sending. The bytes must not be mutated once sent (the buffer
+// may be shared; see Packet).
+func (l *Link) SendRef(ref *buf.Ref) error {
+	return l.sendRef(ref, l.to.id)
+}
+
+// send is the copying transmission path: one copy, caller's slice to
+// pooled buffer. finalTo is the ultimate destination recorded in the
+// packet, which routers use to select the next hop (it may differ from
+// l.to when the packet is mid-route).
 func (l *Link) send(payload []byte, finalTo NodeID) error {
 	if l.cfg.MTU > 0 && len(payload) > l.cfg.MTU {
 		l.Stats.Rejected++
 		return fmt.Errorf("%w: %d > %d", ErrTooBig, len(payload), l.cfg.MTU)
 	}
+	ref := l.net.pool.Get(len(payload))
+	copy(ref.Bytes(), payload)
+	return l.sendRef(ref, finalTo)
+}
+
+// sendRef is the common transmission path; it owns ref's count.
+func (l *Link) sendRef(ref *buf.Ref, finalTo NodeID) error {
+	payload := ref.Bytes()
+	if l.cfg.MTU > 0 && len(payload) > l.cfg.MTU {
+		l.Stats.Rejected++
+		ref.Release()
+		return fmt.Errorf("%w: %d > %d", ErrTooBig, len(payload), l.cfg.MTU)
+	}
 	if l.down && l.cfg.OnDown == DropOnDown {
 		l.Stats.DownDrops++
 		l.net.tracer.PacketDropped(l.label, "down", payload)
+		ref.Release()
 		return nil
 	}
 	if l.cfg.QueueLimit > 0 && l.queued+len(l.held) >= l.cfg.QueueLimit {
 		l.Stats.QueueDrops++
 		l.net.tracer.PacketDropped(l.label, "queue", payload)
+		ref.Release()
 		return nil
 	}
 	l.Stats.Sent++
 	l.Stats.SentBytes += int64(len(payload))
-	pkt := &Packet{From: l.from.id, To: finalTo, Payload: append([]byte(nil), payload...)}
+	pkt := l.net.getPacket()
+	pkt.From, pkt.To, pkt.Payload, pkt.ref, pkt.link = l.from.id, finalTo, payload, ref, l
 	if l.down {
 		l.hold(pkt)
 		return nil
 	}
 	l.enqueue(pkt)
 	return nil
+}
+
+// departCB pops a serialized packet off its link's queue. Static so
+// enqueue schedules it on a pooled event without a closure allocation.
+func departCB(arg any) {
+	pkt := arg.(*Packet)
+	l := pkt.link
+	l.queued--
+	l.depart(pkt)
 }
 
 // enqueue commits pkt to serialization: it departs when the link has
@@ -429,10 +506,8 @@ func (l *Link) enqueue(pkt *Packet) {
 	txEnd := start.Add(l.serialization(len(pkt.Payload)))
 	l.net.tracer.PacketQueued(l.label, pkt.Payload, start.Sub(now), txEnd.Sub(start))
 	l.busyUntil = txEnd
-	l.net.Sched.At(txEnd, func() {
-		l.queued--
-		l.depart(pkt)
-	})
+	pkt.link = l
+	l.net.Sched.AtCall(txEnd, departCB, pkt)
 }
 
 // hold parks pkt until the link comes back up (HoldOnDown).
@@ -451,6 +526,7 @@ func (l *Link) depart(pkt *Packet) {
 		} else {
 			l.Stats.DownDrops++
 			l.net.tracer.PacketDropped(l.label, "down", pkt.Payload)
+			l.net.putPacket(pkt)
 		}
 		return
 	}
@@ -459,6 +535,7 @@ func (l *Link) depart(pkt *Packet) {
 	if l.lost(rnd) {
 		l.Stats.LineLosses++
 		l.net.tracer.PacketDropped(l.label, "line", pkt.Payload)
+		l.net.putPacket(pkt)
 		return
 	}
 
@@ -480,8 +557,13 @@ func (l *Link) depart(pkt *Packet) {
 	l.schedDeliver(pkt, delay)
 
 	if l.cfg.DupProb > 0 && rnd.Bernoulli(l.cfg.DupProb) {
-		dup := &Packet{From: pkt.From, To: pkt.To, Corrupted: pkt.Corrupted,
-			Payload: append([]byte(nil), pkt.Payload...)}
+		// The duplicate shares the original's buffer by reference; both
+		// deliveries read it immutably. (pkt's own delivery has not fired
+		// yet — the scheduler is single-threaded — so the retain is safe.)
+		dup := l.net.getPacket()
+		dup.From, dup.To, dup.Corrupted = pkt.From, pkt.To, pkt.Corrupted
+		dup.ref = pkt.ref.Retain()
+		dup.Payload, dup.link = pkt.Payload, l
 		l.Stats.Dups++
 		l.schedDeliver(dup, l.cfg.Delay)
 	}
@@ -494,13 +576,21 @@ func maxDur(a, b sim.Duration) sim.Duration {
 	return b
 }
 
+// deliverCB hands a packet to its destination node, then recycles it.
+// Static so schedDeliver uses a pooled event (see departCB).
+func deliverCB(arg any) {
+	pkt := arg.(*Packet)
+	l := pkt.link
+	l.Stats.Delivered++
+	l.Stats.DeliveredBytes += int64(len(pkt.Payload))
+	l.net.tracer.PacketDelivered(l.label, pkt.Payload, pkt.delay)
+	l.to.deliver(pkt)
+	l.net.putPacket(pkt)
+}
+
 func (l *Link) schedDeliver(pkt *Packet, delay sim.Duration) {
-	l.net.Sched.After(delay, func() {
-		l.Stats.Delivered++
-		l.Stats.DeliveredBytes += int64(len(pkt.Payload))
-		l.net.tracer.PacketDelivered(l.label, pkt.Payload, delay)
-		l.to.deliver(pkt)
-	})
+	pkt.link, pkt.delay = l, delay
+	l.net.Sched.AfterCall(delay, deliverCB, pkt)
 }
 
 // lost applies the random and burst loss processes.
@@ -527,13 +617,21 @@ func (l *Link) lost(rnd *sim.Rand) bool {
 	return false
 }
 
-// corrupt flips one to three bits of the payload.
+// corrupt flips one to three bits of the payload. A shared buffer
+// (sender retention for retransmit, a duplicate in flight, a router
+// hand-off) is cloned first — copy-on-write — so the damage stays
+// confined to this packet.
 func (l *Link) corrupt(pkt *Packet, rnd *sim.Rand) {
 	if len(pkt.Payload) == 0 {
 		return
 	}
 	l.Stats.Corrupted++
 	pkt.Corrupted = true
+	if pkt.ref.Shared() {
+		clone := pkt.ref.Clone()
+		pkt.ref.Release()
+		pkt.ref, pkt.Payload = clone, clone.Bytes()
+	}
 	nflips := 1 + rnd.Intn(3)
 	for i := 0; i < nflips; i++ {
 		pos := rnd.Intn(len(pkt.Payload))
@@ -568,18 +666,26 @@ func (r *Router) AddRoute(dst *Node, out *Link) { r.routes[dst.id] = out }
 func (r *Router) forward(p *Packet) {
 	// The packet's To field carries the final destination (set by
 	// SendVia or a previous router hop), so multi-hop routes chain
-	// naturally.
+	// naturally. The payload is forwarded by reference — the next hop
+	// retains the same buffer, so a multi-hop path copies zero times.
 	out, ok := r.routes[p.To]
 	if !ok {
 		r.Unrouted++
 		return
 	}
-	_ = out.send(p.Payload, p.To)
+	_ = out.sendRef(p.ref.Retain(), p.To)
 }
 
 // SendVia sends payload to final destination dst through a first-hop
 // link toward a router: the packet's To field carries the final
-// destination so each router on the path can look up its route.
+// destination so each router on the path can look up its route. The
+// payload is copied once into a pooled buffer.
 func SendVia(first *Link, dst *Node, payload []byte) error {
 	return first.send(payload, dst.id)
+}
+
+// SendRefVia is SendVia for a pooled buffer: no copy, the caller's
+// reference transfers to the network (see Link.SendRef).
+func SendRefVia(first *Link, dst *Node, ref *buf.Ref) error {
+	return first.sendRef(ref, dst.id)
 }

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/buf"
 	"repro/internal/checksum"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -105,6 +106,10 @@ type Config struct {
 	// the span recorder. Both ends of a connection may share one tracer;
 	// events merge by ConnID. A nil tracer costs one branch per event.
 	Tracer *tracing.Tracer
+	// Pool supplies the pooled buffers outgoing segments and the
+	// receiver's out-of-order store are built from. Default buf.Default,
+	// shared with netsim so the recycling loop closes end to end.
+	Pool *buf.Pool
 }
 
 func (c *Config) fill() {
@@ -128,6 +133,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxRTO == 0 {
 		c.MaxRTO = 10 * time.Second
+	}
+	if c.Pool == nil {
+		c.Pool = buf.Default
 	}
 }
 
@@ -159,8 +167,17 @@ type Conn struct {
 	sched *sim.Scheduler
 	send  func([]byte) error
 
+	// SendRef, when set, is preferred over the send function for
+	// outgoing segments and transfers ownership of the pooled buffer's
+	// reference to the callee — the zero-copy handoff into
+	// netsim.SendRefVia. The callee must release (or forward) the
+	// reference even on error.
+	SendRef func(*buf.Ref) error
+
 	// OnData receives in-order payload as it becomes deliverable. The
-	// slice is owned by the callee.
+	// slice is valid only until the callback returns — it aliases either
+	// the arriving segment or a pooled out-of-order buffer that is
+	// recycled afterwards. Copy to retain.
 	OnData func([]byte)
 	// OnAcked, if set, fires whenever the acknowledged offset advances,
 	// with the total acknowledged byte count.
@@ -193,7 +210,7 @@ type Conn struct {
 
 	// Receiver state.
 	rcvNxt   int64
-	ooo      map[int64][]byte // out-of-order segments by offset
+	ooo      map[int64]*buf.Ref // out-of-order segments by offset (pooled)
 	oooBytes int
 	ackTimer *sim.Timer
 	ackOwed  bool
@@ -228,7 +245,7 @@ func New(sched *sim.Scheduler, send func([]byte) error, cfg Config) *Conn {
 		// small receiver before the first ACK returns.
 		peerWnd: cfg.MSS,
 		rto:     cfg.InitialRTO,
-		ooo:     make(map[int64][]byte),
+		ooo:     make(map[int64]*buf.Ref),
 	}
 	c.rtoTimer = sched.NewTimer(c.onTimeout)
 	c.ackTimer = sched.NewTimer(c.flushAck)
@@ -328,15 +345,29 @@ func (c *Conn) transmit(seq int64, payload []byte, isRetx bool) {
 			c.timedAt = c.sched.Now()
 		}
 	}
-	_ = c.send(seg)
+	c.sendOut(seg)
 	if !c.rtoTimer.Active() {
 		c.rtoTimer.Reset(c.rto)
 	}
 }
 
-// makeSegment builds a wire segment with checksum.
-func (c *Conn) makeSegment(flags byte, seq int64, payload []byte) []byte {
-	seg := make([]byte, HeaderSize+len(payload))
+// sendOut hands one wire segment to the network, consuming the
+// reference: zero-copy via SendRef when wired, else the classic
+// byte-slice send (the network copies before the release).
+func (c *Conn) sendOut(seg *buf.Ref) {
+	if c.SendRef != nil {
+		_ = c.SendRef(seg)
+		return
+	}
+	_ = c.send(seg.Bytes())
+	seg.Release()
+}
+
+// makeSegment builds a wire segment with checksum in a pooled buffer.
+// The caller owns the returned reference.
+func (c *Conn) makeSegment(flags byte, seq int64, payload []byte) *buf.Ref {
+	ref := c.cfg.Pool.Get(HeaderSize + len(payload))
+	seg := ref.Bytes()
 	seg[0] = flags
 	seg[1] = c.cfg.ConnID
 	binary.BigEndian.PutUint32(seg[2:6], uint32(seq))
@@ -348,9 +379,10 @@ func (c *Conn) makeSegment(flags byte, seq int64, payload []byte) []byte {
 	binary.BigEndian.PutUint16(seg[10:12], uint16(wnd))
 	binary.BigEndian.PutUint16(seg[14:16], uint16(len(payload)))
 	copy(seg[HeaderSize:], payload)
+	seg[12], seg[13] = 0, 0
 	ck := checksum.Sum16(seg)
 	binary.BigEndian.PutUint16(seg[12:14], ck)
-	return seg
+	return ref
 }
 
 // recvWindowAvail is the receive window we can advertise: configured
@@ -398,6 +430,12 @@ func (c *Conn) markDead() {
 	c.rtoTimer.Stop()
 	c.ackTimer.Stop()
 	c.ackOwed = false
+	// Data buffered ahead of a gap can never be delivered now; recycle it.
+	for off, held := range c.ooo {
+		delete(c.ooo, off)
+		held.Release()
+	}
+	c.oooBytes = 0
 	if c.OnDead != nil {
 		c.OnDead()
 	}
@@ -585,7 +623,9 @@ func (c *Conn) handleData(seq int64, payload []byte) {
 			c.cfg.Tracer.StallOpened(c.cfg.ConnID, c.rcvNxt)
 		}
 		c.cfg.Tracer.SegmentBuffered(c.cfg.ConnID, seq, len(payload))
-		c.ooo[seq] = append([]byte(nil), payload...)
+		held := c.cfg.Pool.Get(len(payload))
+		copy(held.Bytes(), payload)
+		c.ooo[seq] = held
 		c.oooBytes += len(payload)
 		c.scheduleAck()
 		return
@@ -599,15 +639,17 @@ func (c *Conn) handleData(seq int64, payload []byte) {
 	// stale; handle all three cases.
 	for progressed := true; progressed; {
 		progressed = false
-		for off, p := range c.ooo {
+		for off, held := range c.ooo {
 			if off > c.rcvNxt {
 				continue
 			}
 			delete(c.ooo, off)
+			p := held.Bytes()
 			c.oooBytes -= len(p)
 			if end := off + int64(len(p)); end > c.rcvNxt {
 				c.deliver(p[c.rcvNxt-off:])
 			}
+			held.Release()
 			progressed = true
 		}
 	}
@@ -646,7 +688,7 @@ func (c *Conn) flushAck() {
 	c.ackOwed = false
 	c.ackTimer.Stop()
 	c.Stats.AcksSent++
-	_ = c.send(c.makeSegment(flagAck, 0, nil))
+	c.sendOut(c.makeSegment(flagAck, 0, nil))
 }
 
 // OOOSegments returns the offsets currently buffered ahead of a gap

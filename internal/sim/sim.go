@@ -45,8 +45,11 @@ type Event struct {
 	at     Time
 	seq    uint64 // tie-break so equal-time events fire in schedule order
 	fn     func()
+	call   func(any) // pooled fire-and-forget form (AtCall/AfterCall)
+	arg    any
 	index  int // heap index; -1 once fired or cancelled
 	cancel bool
+	pooled bool // recycled into the scheduler's freelist after firing
 }
 
 // Cancel prevents the event from firing. Cancelling an event that already
@@ -99,6 +102,7 @@ type Scheduler struct {
 	seq     uint64
 	stopped bool
 	fired   uint64
+	free    []*Event // fired pooled events awaiting reuse
 }
 
 // NewScheduler returns a scheduler with the clock at zero.
@@ -132,6 +136,36 @@ func (s *Scheduler) After(d Duration, fn func()) *Event {
 		d = 0
 	}
 	return s.At(s.now.Add(d), fn)
+}
+
+// AtCall schedules fn(arg) at absolute virtual time t on a pooled,
+// fire-and-forget event: no handle is returned (the event cannot be
+// cancelled) and the Event struct is recycled after firing, so the
+// steady-state datapath schedules without allocating. Unlike a closure
+// passed to At, fn should be a static function with its state in arg.
+func (s *Scheduler) AtCall(t Time, fn func(any), arg any) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{pooled: true}
+	}
+	e.at, e.seq, e.call, e.arg = t, s.seq, fn, arg
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+// AfterCall is AtCall at Now+d. Negative d is treated as zero.
+func (s *Scheduler) AfterCall(d Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	s.AtCall(s.now.Add(d), fn, arg)
 }
 
 // Run executes events in timestamp order until the queue drains or Stop
@@ -190,6 +224,15 @@ func (s *Scheduler) step() {
 	}
 	s.now = e.at
 	s.fired++
+	if e.pooled {
+		// Recycle before invoking so the callback itself can schedule
+		// into the freed struct.
+		fn, arg := e.call, e.arg
+		e.call, e.arg = nil, nil
+		s.free = append(s.free, e)
+		fn(arg)
+		return
+	}
 	e.fn()
 }
 
@@ -199,21 +242,37 @@ func (s *Scheduler) Stop() { s.stopped = true }
 
 // Timer is a restartable one-shot timer bound to a scheduler, in the
 // mould of time.Timer but on virtual time. The zero value is unusable;
-// create timers with NewTimer.
+// create timers with NewTimer. A timer owns one Event struct for its
+// whole life, so re-arming is allocation-free.
 type Timer struct {
 	s  *Scheduler
-	fn func()
 	ev *Event
 }
 
 // NewTimer returns a stopped timer that will invoke fn when it expires.
-func (s *Scheduler) NewTimer(fn func()) *Timer { return &Timer{s: s, fn: fn} }
+func (s *Scheduler) NewTimer(fn func()) *Timer {
+	return &Timer{s: s, ev: &Event{fn: fn, index: -1, cancel: true}}
+}
 
 // Reset (re)arms the timer to fire d from now, cancelling any pending
-// expiry.
+// expiry. Negative d is treated as zero. The timer's event keeps its
+// heap slot when still pending and is re-pushed otherwise; either way
+// it takes a fresh sequence number, so ties with events scheduled at
+// the same instant resolve in (re)schedule order, as with After.
 func (t *Timer) Reset(d Duration) {
-	t.ev.Cancel()
-	t.ev = t.s.After(d, t.fn)
+	if d < 0 {
+		d = 0
+	}
+	s, e := t.s, t.ev
+	e.cancel = false
+	e.at = s.now.Add(d)
+	e.seq = s.seq
+	s.seq++
+	if e.index >= 0 {
+		heap.Fix(&s.queue, e.index)
+	} else {
+		heap.Push(&s.queue, e)
+	}
 }
 
 // Stop disarms the timer. Stopping a stopped timer is a no-op.

@@ -355,3 +355,112 @@ func TestSchedulerClockNeverRegresses(t *testing.T) {
 		t.Error("clock regressed")
 	}
 }
+
+func TestAtCallOrderingWithAt(t *testing.T) {
+	// Pooled and closure events scheduled at the same instant fire in
+	// schedule order, preserving determinism across the two forms.
+	s := NewScheduler()
+	var got []int
+	rec := func(arg any) { got = append(got, arg.(int)) }
+	s.AtCall(Time(time.Millisecond), rec, 0)
+	s.At(Time(time.Millisecond), func() { got = append(got, 1) })
+	s.AtCall(Time(time.Millisecond), rec, 2)
+	s.AfterCall(time.Millisecond, rec, 3)
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("fire order %v, want [0 1 2 3]", got)
+		}
+	}
+}
+
+func TestAtCallRecyclesEvents(t *testing.T) {
+	s := NewScheduler()
+	fn := func(any) {}
+	s.AtCall(0, fn, nil)
+	s.Run()
+	if len(s.free) != 1 {
+		t.Fatalf("free = %d, want 1", len(s.free))
+	}
+	// Steady state: schedule+fire from the freelist allocates nothing.
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.AtCall(s.Now(), fn, nil)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("pooled schedule/fire allocates %.1f/op", allocs)
+	}
+}
+
+func TestAtCallNestedFromCallback(t *testing.T) {
+	// A pooled callback may schedule again, reusing the struct that was
+	// recycled just before it was invoked.
+	s := NewScheduler()
+	count := 0
+	var tick func(any)
+	tick = func(arg any) {
+		count++
+		if n := arg.(int); n > 0 {
+			s.AfterCall(time.Second, tick, n-1)
+		}
+	}
+	s.AfterCall(time.Second, tick, 4)
+	s.Run()
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if s.Now() != Time(5*time.Second) {
+		t.Errorf("clock = %v, want 5s", s.Now())
+	}
+}
+
+func TestTimerResetReusesEvent(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	tm := s.NewTimer(func() { fired++ })
+	tm.Reset(time.Second)
+	ev := tm.ev
+	s.Run()
+	// Re-arm after expiry, after Stop, and while pending: always the
+	// same struct, never an allocation.
+	tm.Reset(time.Second)
+	tm.Stop()
+	tm.Reset(time.Second)
+	tm.Reset(2 * time.Second)
+	if tm.ev != ev {
+		t.Error("Reset replaced the timer's event struct")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm.Reset(time.Second)
+	})
+	if allocs != 0 {
+		t.Errorf("Timer.Reset allocates %.1f/op", allocs)
+	}
+	tm.Stop()
+	s.Run()
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+}
+
+func TestTimerResetWhilePendingKeepsOrder(t *testing.T) {
+	// A re-armed pending timer fires at its new time, ordered by its new
+	// sequence number among same-instant events.
+	s := NewScheduler()
+	var got []string
+	tm := s.NewTimer(func() { got = append(got, "timer") })
+	tm.Reset(3 * time.Second)
+	s.After(time.Second, func() {
+		tm.Reset(time.Second) // move expiry earlier, to t=2s
+		s.After(time.Second, func() { got = append(got, "after") })
+	})
+	s.Run()
+	if len(got) != 2 || got[0] != "timer" || got[1] != "after" {
+		t.Fatalf("fire order %v, want [timer after]", got)
+	}
+	if s.Now() != Time(2*time.Second) {
+		t.Errorf("clock = %v, want 2s", s.Now())
+	}
+}
