@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json fuzz soak alloc-guard check
+.PHONY: build test race vet lint bench bench-json fuzz soak alloc-guard check
 
 build:
 	$(GO) build ./...
@@ -39,9 +39,21 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzHandleControl$$' -fuzztime $(FUZZTIME) ./internal/core
 
 # One seeded chaos pass: every scenario x policy plus the blackout
-# shed/report assertions, deterministic for the checked-in seeds.
+# shed/report assertions, and the overload family (closed-loop passes,
+# fixed-rate collapses, both reproducible from fixed seeds — the
+# TestDeterminism/TestOverloadDeterminism assertions), deterministic
+# for the checked-in seeds.
 soak:
-	$(GO) test -run 'TestScenarioMatrix|TestBlackoutShedsAndReports|TestDeterminism' -v ./internal/faults/soak
+	$(GO) test -run 'TestScenarioMatrix|TestBlackoutShedsAndReports|TestDeterminism|TestOverloadClosedLoopNoCollapse|TestOverloadFixedRateCollapses|TestOverloadDeterminism' -v ./internal/faults/soak
+
+# Static analysis beyond vet. staticcheck is not vendored; the target
+# no-ops with a notice where the binary is absent (CI installs it).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 # Allocation-regression gate: the steady-state datapath
 # (send -> forward -> deliver, plus the FEC paths) must run at

@@ -18,8 +18,14 @@
 //	alfchaos -trace chaos.json               # record spans; on violation,
 //	                                         # dump the culprits' timelines
 //	                                         # and write a Perfetto trace
+//	alfchaos -overload                       # congestion, not faults: 3 streams
+//	                                         # at 18 Mb/s into an 8 Mb/s trunk,
+//	                                         # closed-loop, no-collapse invariants
+//	alfchaos -overload -mode fixed           # the open-loop baseline (collapses)
+//	alfchaos -overload -all                  # every shape x both stances
 //
 // Scenarios: flap, blackout, degrade, partition, random.
+// Overload shapes: steady, burst, flash.
 package main
 
 import (
@@ -47,10 +53,20 @@ var (
 	flagAll      = flag.Bool("all", false, "run every scenario x policy combination (summary only)")
 	flagTree     = flag.Bool("tree", true, "print the unified metric tree after the summary")
 	flagTrace    = flag.String("trace", "", "record the run with the span tracer; on violation, dump the violating ADUs' timelines and write Perfetto JSON here")
+
+	flagOverload = flag.Bool("overload", false, "run the congestion overload family instead of a fault scenario")
+	flagShape    = flag.String("shape", "steady", "overload arrival pattern: steady, burst, flash")
+	flagMode     = flag.String("mode", "closed", "overload sender stance: closed (feedback+AIMD+shedding) or fixed (open loop)")
 )
 
 func main() {
 	flag.Parse()
+	if *flagOverload {
+		if *flagAll {
+			os.Exit(runOverloadAll())
+		}
+		os.Exit(runOverload(*flagShape, *flagMode, true))
+	}
 	if *flagAll {
 		os.Exit(runAll())
 	}
@@ -109,6 +125,130 @@ func runOne(scenario, policyName string, verbose bool) int {
 		return 1
 	}
 	return 0
+}
+
+// runOverload executes one overload scenario (congestion, not faults)
+// and prints its no-collapse report. verbose additionally prints the
+// metric tree (if -tree).
+func runOverload(shape, mode string, verbose bool) int {
+	ok := false
+	for _, s := range soak.OverloadShapes {
+		if s == shape {
+			ok = true
+		}
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "alfchaos: unknown overload shape %q (want steady, burst, flash)\n", shape)
+		return 2
+	}
+	if mode != "closed" && mode != "fixed" {
+		fmt.Fprintf(os.Stderr, "alfchaos: unknown overload mode %q (want closed or fixed)\n", mode)
+		return 2
+	}
+	reg := metrics.New()
+	var tracer *tracing.Tracer
+	if *flagTrace != "" {
+		tracer = tracing.New(nil)
+		tracer.SetLimit(4 << 20)
+	}
+	res, err := soak.RunOverload(soak.OverloadConfig{
+		Seed:     *flagSeed,
+		Shape:    shape,
+		Mode:     mode,
+		Duration: *flagDuration,
+		Metrics:  reg,
+		Tracer:   tracer,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
+		return 2
+	}
+
+	printOverloadSummary(res)
+	if verbose && *flagTree {
+		fmt.Println()
+		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
+			return 2
+		}
+	}
+	if tracer != nil {
+		f, err := os.Create(*flagTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
+			return 2
+		}
+		if err := tracer.WritePerfetto(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
+			return 2
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
+			return 2
+		}
+		fmt.Printf("\nperfetto trace (%d events, %d dropped) written to %s\n",
+			tracer.Len(), tracer.Dropped, *flagTrace)
+	}
+	if !res.Passed() {
+		return 1
+	}
+	return 0
+}
+
+// runOverloadAll sweeps every arrival shape under both sender stances,
+// summary lines only. The exit code ignores the expected fixed-stance
+// violations — open-loop collapse is the demonstration, not a failure
+// of the gate. A closed-loop violation still exits 1.
+func runOverloadAll() int {
+	exit := 0
+	for _, shape := range soak.OverloadShapes {
+		for _, mode := range []string{"fixed", "closed"} {
+			code := runOverload(shape, mode, false)
+			if mode == "fixed" && code == 1 {
+				code = 0
+			}
+			if code > exit {
+				exit = code
+			}
+			fmt.Println()
+		}
+	}
+	return exit
+}
+
+// printOverloadSummary renders the no-collapse report of one run.
+func printOverloadSummary(res *soak.OverloadResult) {
+	fmt.Printf("overload: %s arrivals, %s stance, seed %d, horizon %v\n",
+		res.Shape, res.Mode, res.Seed, res.Horizon)
+	fmt.Printf("load: %.0f Mb/s offered across %d streams into a %.0f Mb/s trunk\n",
+		res.OfferedBps/1e6, len(res.Streams), res.CapacityBps/1e6)
+	fmt.Printf("goodput: %.2f Mb/s against a %.2f Mb/s no-collapse floor\n",
+		res.GoodputBps/1e6, res.GoodputTarget/1e6)
+	fmt.Printf("shed: %d Droppable ADUs refused pre-wire; trunk tail-dropped %d packets\n",
+		res.ShedADUs, res.TrunkDrops)
+	for _, st := range res.Streams {
+		fmt.Printf("stream %d: %d submitted, %d accepted, %d shed, %d delivered, "+
+			"%d lost (%d Critical), rate %.2f Mb/s after %d changes, %d retx suppressed\n",
+			st.StreamID, st.Submitted, st.Accepted, st.Shed, st.Delivered,
+			st.Lost, st.CriticalLost, st.FinalRateBps/1e6, st.RateChanges,
+			st.RetxSuppressed)
+	}
+	fmt.Printf("drain: quiescent at %v after %d post-horizon events\n",
+		res.EndVirtual, res.DrainEvents)
+	if res.Passed() {
+		fmt.Println("invariants: all held (goodput floor, Critical protection, exactly-once, clean drain)")
+		return
+	}
+	fmt.Printf("invariants: %d VIOLATED\n", len(res.Violations))
+	const maxPrint = 12
+	for i, v := range res.Violations {
+		if i == maxPrint {
+			fmt.Printf("  (… %d more)\n", len(res.Violations)-maxPrint)
+			break
+		}
+		fmt.Printf("  ! %s\n", v)
+	}
 }
 
 // runAll sweeps every preset against every policy, summary lines only.

@@ -63,6 +63,8 @@ var (
 	flagQuick   = flag.Bool("quick", false, "shorter kernel timing budgets")
 	flagIngest  = flag.String("ingest", "", "CSV file from `alfbench -csv` to fold into the tree (\"-\" = stdin)")
 	flagOutage  = flag.Duration("outage", 0, "black out every data link for this long, 100ms into the run (0 = none)")
+	flagOver    = flag.Bool("overload", false, "also run the fixed-vs-closed overload contrast through a shared bottleneck")
+	flagShape   = flag.String("shape", "steady", "overload arrival pattern: steady, burst, flash")
 )
 
 func main() {
@@ -80,6 +82,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "alfstat: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *flagOver {
+		over, err := runOverloadContrast(reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alfstat: %v\n", err)
+			os.Exit(1)
+		}
+		summary += over
 	}
 
 	if *flagKernels {
@@ -238,6 +249,36 @@ func runScenario(reg *metrics.Registry) (string, error) {
 	}
 	fmt.Fprintf(&b, "drops: %d down-link, %d queue, %d line\n",
 		downDrops, queueDrops, lineLosses)
+	return b.String(), nil
+}
+
+// runOverloadContrast runs the fixed-vs-closed overload experiment
+// (three streams at 3:1 over a shared bottleneck) and registers each
+// stance's headline numbers as alfstat.overload.* gauges, so the §3
+// closed-loop argument shows up in the same tree as everything else.
+func runOverloadContrast(reg *metrics.Registry) (string, error) {
+	pts, err := experiments.RunOverloadContrast(experiments.OverloadConfig{
+		Seed: *flagSeed, Shape: *flagShape,
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, p := range pts {
+		mode := "mode=" + p.Mode
+		reg.Gauge("alfstat.overload.goodput_kbps", mode).Set(int64(p.GoodputMbps * 1e3))
+		reg.Gauge("alfstat.overload.critical_lost", mode).Set(int64(p.CriticalLost))
+		reg.Gauge("alfstat.overload.shed_adus", mode).Set(p.ShedADUs)
+		reg.Gauge("alfstat.overload.trunk_drops", mode).Set(p.TrunkDrops)
+		verdict := "no-collapse invariants held"
+		if !p.Passed {
+			verdict = "COLLAPSED (invariants violated)"
+		}
+		fmt.Fprintf(&b, "overload %-6s: %.2f Mb/s goodput (%.0f%% of capacity), "+
+			"%d Critical lost, %d shed, %d trunk drops — %s\n",
+			p.Mode, p.GoodputMbps, p.CapacityFrac*100, p.CriticalLost,
+			p.ShedADUs, p.TrunkDrops, verdict)
+	}
 	return b.String(), nil
 }
 

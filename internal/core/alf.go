@@ -38,6 +38,7 @@ package alf
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/buf"
@@ -118,6 +119,14 @@ var (
 	ErrNameOrder    = errors.New("alf: ADU names must be assigned by the sender")
 	ErrMTUTooSmall  = errors.New("alf: MTU leaves no fragment payload")
 	ErrInconsistent = errors.New("alf: fragment disagrees with earlier fragments of the same ADU")
+	// ErrConfig wraps every constructor-time configuration rejection;
+	// the message names the offending field and value.
+	ErrConfig = errors.New("alf: invalid config")
+	// ErrShed is returned by SendClass when a Droppable ADU is shed
+	// before transmission under overload. The ADU consumed no name and
+	// nothing reached the wire; the application decides whether to
+	// retry, downgrade, or move on (§5).
+	ErrShed = errors.New("alf: droppable ADU shed under overload")
 )
 
 // Config parameterizes one stream. The same Config should be given to
@@ -210,6 +219,106 @@ type Config struct {
 	// buf.Default, shared with netsim so the recycling loop closes end
 	// to end.
 	Pool *buf.Pool
+
+	// FeedbackInterval, when non-zero, has the receiver periodically
+	// report cumulative delivery counters (wire bytes accepted, verified
+	// payload delivered) on the control channel — the measurement half
+	// of the §3 rate-based control loop. Zero disables feedback (the
+	// pre-existing open-loop behavior). The report timer runs only
+	// while the stream is active and stops on its own when the stream
+	// goes idle, so an idle receiver leaves the event loop quiescent.
+	FeedbackInterval sim.Duration
+	// Controller, when non-nil, closes the loop: each accepted feedback
+	// report is turned into a RateSample and the controller's answer
+	// replaces the pacing rate (Sender.SetRate under the hood, no
+	// longer blind). Nil keeps Config.RateBps fixed. Requires
+	// FeedbackInterval > 0 (enforced by Validate) and RateBps > 0 —
+	// an unpaced stream has no rate to control.
+	Controller RateController
+	// ShedBacklog is the pacer-backlog threshold beyond which Droppable
+	// ADUs are shed before transmission (default 100 ms). The backlog
+	// is how far in the future the pacer would schedule the next
+	// fragment; a deep backlog means the application is offering more
+	// than the current rate carries.
+	ShedBacklog sim.Duration
+	// ShedLossFrac sheds Droppable ADUs while the smoothed reported
+	// loss fraction (EWMA over feedback reports) exceeds it
+	// (default 0.25). Only meaningful with FeedbackInterval set.
+	ShedLossFrac float64
+	// RecoveryFrac caps recovery traffic: retransmissions (SenderBuffered
+	// resends and AppRecompute regenerations) may consume at most this
+	// fraction of the current send rate, enforced by a token bucket
+	// with a one-second burst. Suppressed resends are counted
+	// (SenderStats.RetxSuppressed) and answered by the receiver's next
+	// backed-off NACK instead — recovery pressure can no longer grow
+	// just when the path is saturated. Critical ADUs bypass the cap
+	// (their resends still debit it). Zero disables the cap; pacing
+	// must be on (RateBps > 0) for the cap to apply.
+	RecoveryFrac float64
+}
+
+// Validate rejects configurations that cannot mean anything sensible —
+// negative rates, an MTU with no room for a payload, negative
+// durations or counts — with a descriptive error naming the field.
+// Zero values are not errors: they take the documented defaults in
+// fill. NewSender and NewReceiver call Validate, so a nonsense config
+// fails loudly at construction instead of misbehaving silently.
+func (c *Config) Validate() error {
+	if c.RateBps < 0 {
+		return fmt.Errorf("%w: RateBps %v is negative", ErrConfig, c.RateBps)
+	}
+	if c.MTU < 0 || (c.MTU > 0 && c.MTU <= HeaderSize) {
+		return fmt.Errorf("%w: MTU %d leaves no fragment payload (header is %d bytes)",
+			ErrConfig, c.MTU, HeaderSize)
+	}
+	for _, d := range []struct {
+		name string
+		v    sim.Duration
+	}{
+		{"NackDelay", c.NackDelay},
+		{"NackInterval", c.NackInterval},
+		{"HoldTime", c.HoldTime},
+		{"HeartbeatInterval", c.HeartbeatInterval},
+		{"HeartbeatMaxInterval", c.HeartbeatMaxInterval},
+		{"ADUDeadline", c.ADUDeadline},
+		{"FeedbackInterval", c.FeedbackInterval},
+		{"ShedBacklog", c.ShedBacklog},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("%w: %s %v is negative", ErrConfig, d.name, d.v)
+		}
+	}
+	for _, n := range []struct {
+		name string
+		v    int
+	}{
+		{"MaxNacks", c.MaxNacks},
+		{"MaxADU", c.MaxADU},
+		{"BufferLimit", c.BufferLimit},
+		{"HeartbeatLimit", c.HeartbeatLimit},
+		{"FECGroup", c.FECGroup},
+	} {
+		if n.v < 0 {
+			return fmt.Errorf("%w: %s %d is negative", ErrConfig, n.name, n.v)
+		}
+	}
+	if c.ShedLossFrac < 0 || c.ShedLossFrac > 1 {
+		return fmt.Errorf("%w: ShedLossFrac %v outside [0, 1]", ErrConfig, c.ShedLossFrac)
+	}
+	if c.RecoveryFrac < 0 || c.RecoveryFrac > 1 {
+		return fmt.Errorf("%w: RecoveryFrac %v outside [0, 1]", ErrConfig, c.RecoveryFrac)
+	}
+	if c.Controller != nil {
+		if c.FeedbackInterval == 0 {
+			return fmt.Errorf("%w: Controller set without FeedbackInterval; the loop can never close",
+				ErrConfig)
+		}
+		if c.RateBps == 0 {
+			return fmt.Errorf("%w: Controller set on an unpaced stream (RateBps 0); there is no rate to control",
+				ErrConfig)
+		}
+	}
+	return nil
 }
 
 func (c *Config) fill() {
@@ -254,6 +363,12 @@ func (c *Config) fill() {
 	}
 	if c.Pool == nil {
 		c.Pool = buf.Default
+	}
+	if c.ShedBacklog == 0 {
+		c.ShedBacklog = 100 * time.Millisecond
+	}
+	if c.ShedLossFrac == 0 {
+		c.ShedLossFrac = 0.25
 	}
 }
 

@@ -49,11 +49,17 @@ func bindSenderMetrics(r *metrics.Registry, s *Sender) senderMetrics {
 		{"core.send.ctrl_dropped", func() int64 { return st.CtrlDropped }},
 		{"core.send.heartbeats", func() int64 { return st.Heartbeats }},
 		{"core.send.parity_frags", func() int64 { return st.ParityFrags }},
+		{"core.send.shed_adus", func() int64 { return st.ShedADUs }},
+		{"core.send.feedback_rx", func() int64 { return st.FeedbackRecv }},
+		{"core.send.rate_changes", func() int64 { return st.RateChanges }},
+		{"core.send.retx_suppressed", func() int64 { return st.RetxSuppressed }},
+		{"core.send.wire_bytes", func() int64 { return st.WireBytes }},
 	} {
 		r.CounterFunc(c.name, c.fn, lb)
 	}
 	r.GaugeFunc("core.send.buffered_bytes", func() int64 { return int64(s.bufBytes) }, lb)
 	r.GaugeFunc("core.send.buffered_adus", func() int64 { return int64(len(s.buffered)) }, lb)
+	r.GaugeFunc("core.send.rate_bps", func() int64 { return int64(s.cfg.RateBps) }, lb)
 	return senderMetrics{
 		aduBytes: r.Histogram("core.send.adu_bytes", lb),
 		ilpBytes: r.Counter("core.send.ilp_pass_bytes", lb),
@@ -100,6 +106,9 @@ func bindReceiverMetrics(r *metrics.Registry, rc *Receiver) recvMetrics {
 		{"core.recv.heartbeats", func() int64 { return st.Heartbeats }},
 		{"core.recv.parity_frags", func() int64 { return st.ParityFrags }},
 		{"core.recv.fec_recovered", func() int64 { return st.FECRecovered }},
+		{"core.recv.feedback_tx", func() int64 { return st.FeedbackSent }},
+		{"core.recv.wire_bytes", func() int64 { return st.WireBytes }},
+		{"core.recv.delivered_bytes", func() int64 { return st.DeliveredBytes }},
 	} {
 		r.CounterFunc(c.name, c.fn, lb)
 	}

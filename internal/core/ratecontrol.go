@@ -1,0 +1,160 @@
+package alf
+
+// Closed-loop, rate-based transmission control (§3). The paper argues
+// that a new generation of protocols should pace transmission by rate
+// rather than by window, and that the control loop which *sets* the
+// rate is a separable concern from error recovery. This file is that
+// separable concern: the receiver periodically reports what the path
+// actually delivered (see the feedback message in wire.go), and a
+// pluggable RateController turns each report into the next pacing
+// rate. The default is no controller at all — Config.RateBps stays a
+// fixed, out-of-band knob exactly as before — so the closed loop is
+// strictly opt-in.
+//
+// The same feedback also powers ADU-priority load shedding (§2, §5:
+// the application, not the network, decides what survives overload):
+// Send carries a Priority class, and when the pacer backlog or the
+// smoothed loss fraction crosses the configured thresholds the sender
+// sheds Droppable ADUs *before* transmission instead of letting the
+// bottleneck queue tail-drop fragments blindly.
+
+import "repro/internal/sim"
+
+// Priority classifies an ADU for load shedding. The class never
+// travels on the wire: shedding is a sender-side decision made before
+// packetization, which is the whole point — a shed ADU costs nothing
+// downstream and consumes no ADU name.
+type Priority uint8
+
+const (
+	// Standard ADUs are paced and recovered normally; they are never
+	// shed before transmission.
+	Standard Priority = iota
+	// Critical ADUs are never shed, and their retransmissions bypass
+	// the recovery-bandwidth cap: when the network cannot carry
+	// everything, these are the ADUs the application says must survive.
+	Critical
+	// Droppable ADUs are shed before transmission while the sender is
+	// overloaded (pacer backlog or reported loss above threshold).
+	// SendClass returns ErrShed and the ADU consumes no name.
+	Droppable
+)
+
+// String returns the priority class name.
+func (p Priority) String() string {
+	switch p {
+	case Standard:
+		return "standard"
+	case Critical:
+		return "critical"
+	case Droppable:
+		return "droppable"
+	default:
+		return "invalid-priority"
+	}
+}
+
+// RateSample is one feedback interval's view of the path, assembled by
+// the sender from the receiver's cumulative report (all counters are
+// deltas since the previous report it processed).
+type RateSample struct {
+	// Interval is the virtual time since the previous report.
+	Interval sim.Duration
+	// SentBytes is the wire volume (fragment headers + payload,
+	// retransmissions and parity included) the sender emitted in the
+	// interval.
+	SentBytes int64
+	// RecvBytes is the wire volume the receiver accepted in the
+	// interval, duplicates and late fragments included: what the
+	// network actually carried.
+	RecvBytes int64
+	// DeliveredBytes is the verified ADU payload handed to the
+	// receiving application in the interval — the stream's goodput.
+	DeliveredBytes int64
+	// LossFrac is 1 - RecvBytes/SentBytes clamped to [0, 1]: the
+	// fraction of offered wire volume the path failed to deliver.
+	// In-flight data skews a single sample; controllers should treat
+	// small values as noise (see AIMD.LossThreshold).
+	LossFrac float64
+	// Backlog is the sender's current pacer backlog: how far in the
+	// future the next fragment would be scheduled.
+	Backlog sim.Duration
+}
+
+// RateController turns receiver feedback into pacing rates. Invoked
+// once per accepted feedback report, on the simulation goroutine;
+// implementations must not block and should not allocate.
+type RateController interface {
+	// OnFeedback returns the pacing rate (bits/s) to use from now on,
+	// given the current rate and the latest interval sample. Returning
+	// cur keeps the rate; the sender ignores non-positive returns.
+	OnFeedback(cur float64, s RateSample) float64
+}
+
+// FixedRate is the open-loop controller: it keeps whatever rate is
+// configured (today's behavior, made explicit). A nil Config.Controller
+// behaves identically; FixedRate exists so harnesses can name the
+// contrast case.
+type FixedRate struct{}
+
+// OnFeedback returns cur unchanged.
+func (FixedRate) OnFeedback(cur float64, _ RateSample) float64 { return cur }
+
+// AIMD is a loss-driven additive-increase / multiplicative-decrease
+// controller: when an interval's loss fraction crosses LossThreshold
+// the rate is multiplied by Backoff, otherwise it grows by ProbeBps.
+// The result is clamped to [Floor, Ceil]. Zero fields take the listed
+// defaults, so AIMD{} is usable as-is.
+type AIMD struct {
+	// Floor is the minimum rate (default 128 kb/s). The floor keeps
+	// the control loop alive: a stream paced to zero would never probe
+	// and never recover.
+	Floor float64
+	// Ceil is the maximum rate (default: unbounded). Typically the
+	// application's offered rate — there is no point pacing faster
+	// than data is produced.
+	Ceil float64
+	// Backoff is the multiplicative decrease factor in (0, 1)
+	// (default 0.5).
+	Backoff float64
+	// ProbeBps is the additive probe per loss-free report
+	// (default 100 kb/s).
+	ProbeBps float64
+	// LossThreshold is the loss fraction above which a report counts
+	// as congestion (default 0.02). Below it, residual line loss and
+	// in-flight skew are treated as noise.
+	LossThreshold float64
+}
+
+// OnFeedback applies one AIMD step.
+func (a *AIMD) OnFeedback(cur float64, s RateSample) float64 {
+	floor, ceil := a.Floor, a.Ceil
+	if floor <= 0 {
+		floor = 128e3
+	}
+	backoff := a.Backoff
+	if backoff <= 0 || backoff >= 1 {
+		backoff = 0.5
+	}
+	probe := a.ProbeBps
+	if probe <= 0 {
+		probe = 100e3
+	}
+	thresh := a.LossThreshold
+	if thresh <= 0 {
+		thresh = 0.02
+	}
+	next := cur
+	if s.LossFrac > thresh {
+		next = cur * backoff
+	} else {
+		next = cur + probe
+	}
+	if next < floor {
+		next = floor
+	}
+	if ceil > 0 && next > ceil {
+		next = ceil
+	}
+	return next
+}

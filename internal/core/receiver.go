@@ -29,6 +29,11 @@ type ReceiverStats struct {
 	Heartbeats    int64 // sender extent declarations processed
 	ParityFrags   int64 // FEC parity fragments accepted
 	FECRecovered  int64 // data fragments rebuilt from parity
+
+	// Closed-loop accounting (see ratecontrol.go).
+	FeedbackSent   int64 // delivery reports emitted
+	WireBytes      int64 // data-plane wire bytes accepted (dups included)
+	DeliveredBytes int64 // verified ADU payload handed to the application
 }
 
 // partial is an ADU under reassembly. The struct (with its maps) and
@@ -100,6 +105,16 @@ type Receiver struct {
 
 	scan *sim.Timer
 
+	// Feedback: the periodic delivery report for the sender's rate loop
+	// (FeedbackInterval > 0). The timer runs only while the stream is
+	// active — bytes arriving or recovery pending — so an idle stream
+	// goes fully quiescent. fbScratch keeps the report path
+	// allocation-free.
+	fb         *sim.Timer
+	fbSeq      uint32
+	lastFBWire int64
+	fbScratch  [feedbackSize]byte
+
 	m recvMetrics
 
 	Stats ReceiverStats
@@ -109,6 +124,9 @@ type Receiver struct {
 // control messages back toward the sender (may be nil for one-way
 // simulations; recovery then never happens).
 func NewReceiver(sched *sim.Scheduler, send func([]byte) error, cfg Config) (*Receiver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.fill()
 	if cfg.fragPayload() < 8 {
 		return nil, ErrMTUTooSmall
@@ -122,6 +140,7 @@ func NewReceiver(sched *sim.Scheduler, send func([]byte) error, cfg Config) (*Re
 		resolved: make(map[uint64]bool),
 	}
 	r.scan = sched.NewTimer(r.onScan)
+	r.fb = sched.NewTimer(r.onFeedback)
 	r.m = bindReceiverMetrics(cfg.Metrics, r)
 	return r, nil
 }
@@ -156,6 +175,12 @@ func (r *Receiver) HandlePacket(pkt []byte) error {
 	if h.Stream != r.cfg.StreamID {
 		return ErrWrongStream
 	}
+	// Count the wire volume before the late/duplicate filters: the
+	// feedback loop measures what the network delivered, and a duplicate
+	// did cross the path. Corrupt packets are excluded — corruption is
+	// loss from the loop's point of view.
+	r.Stats.WireBytes += int64(len(pkt))
+	r.armFeedback()
 	if h.Name < r.cum || r.resolved[h.Name] {
 		r.Stats.LateFragments++
 		return nil
@@ -368,6 +393,7 @@ func (r *Receiver) handleHeartbeat(pkt []byte) error {
 		return ErrWrongStream
 	}
 	r.Stats.Heartbeats++
+	r.armFeedback()
 	if next > r.cum+r.cfg.NameWindow {
 		// Same corruption defence as for data fragments: never let a
 		// declared extent open an implausible gap.
@@ -430,6 +456,7 @@ func (r *Receiver) complete(name uint64, p *partial) {
 	}
 	r.settle(name)
 	r.Stats.ADUsDelivered++
+	r.Stats.DeliveredBytes += int64(p.total)
 	r.m.aduLatency.ObserveDuration(r.sched.Now().Sub(p.firstSeen))
 	r.m.aduBytes.Observe(int64(p.total))
 	r.cfg.Tracer.ADUDelivered(r.cfg.StreamID, name, p.total)
@@ -449,6 +476,37 @@ func (r *Receiver) settle(name uint64) {
 		delete(r.resolved, r.cum)
 		r.cum++
 	}
+}
+
+// armFeedback ensures the periodic delivery report is running (when
+// the stream has one configured and a control channel to carry it).
+func (r *Receiver) armFeedback() {
+	if r.cfg.FeedbackInterval > 0 && r.send != nil && !r.fb.Active() {
+		r.fb.Reset(r.cfg.FeedbackInterval)
+	}
+}
+
+// onFeedback emits one delivery report (wire.go: cumulative counters,
+// robust to report loss) and re-arms while the stream stays active.
+// A report also goes out when nothing arrived but recovery state is
+// pending — the sender then sees a zero-delivery interval, which is
+// exactly what a congestion-collapsed path looks like and what a
+// controller must react to. When arrivals stop and nothing is pending
+// the timer stops, so an idle stream schedules no work; the next
+// arrival re-arms it.
+func (r *Receiver) onFeedback() {
+	changed := r.Stats.WireBytes != r.lastFBWire
+	active := len(r.partials) > 0 || len(r.missings) > 0
+	if !changed && !active {
+		return
+	}
+	r.lastFBWire = r.Stats.WireBytes
+	r.fbSeq++
+	r.Stats.FeedbackSent++
+	r.cfg.Tracer.FeedbackSent(r.cfg.StreamID, r.fbSeq, r.Stats.WireBytes)
+	_ = r.send(encodeFeedback(r.fbScratch[:], r.cfg.StreamID, r.fbSeq,
+		uint64(r.Stats.WireBytes), uint64(r.Stats.DeliveredBytes)))
+	r.fb.Reset(r.cfg.FeedbackInterval)
 }
 
 // armScan ensures the periodic gap scan is running.

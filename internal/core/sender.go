@@ -24,6 +24,13 @@ type SenderStats struct {
 	CtrlDropped   int64 // corrupt control messages
 	Heartbeats    int64
 	ParityFrags   int64 // FEC parity fragments emitted
+
+	// Overload-robustness accounting (see ratecontrol.go).
+	ShedADUs       int64 // Droppable ADUs shed before transmission
+	FeedbackRecv   int64 // feedback reports accepted (fresh sequence)
+	RateChanges    int64 // controller-driven rate updates applied
+	RetxSuppressed int64 // resends withheld by the recovery-bandwidth cap
+	WireBytes      int64 // data-plane wire bytes emitted (headers included)
 }
 
 // wireFrag is one stamped wire packet (header + fragment payload) in a
@@ -46,6 +53,7 @@ type savedADU struct {
 	wireLen int // ADU payload bytes (BufferedBytes accounting)
 	check   uint16
 	sentAt  sim.Time // submission time, for the ADUDeadline sweep
+	class   Priority // Critical resends bypass the recovery cap
 }
 
 // release drops the retention references.
@@ -107,6 +115,22 @@ type Sender struct {
 	// ADUs are buffered and a deadline is configured.
 	retire *sim.Timer
 
+	// Closed-loop state (see ratecontrol.go): the last feedback report
+	// processed, kept cumulative so per-interval deltas survive lost
+	// reports, and the loss EWMA that drives shedding.
+	fbSeq    uint32   // highest report sequence accepted
+	fbAt     sim.Time // arrival time of that report
+	fbWire   int64    // receiver's cumulative wire bytes at that report
+	fbGood   int64    // receiver's cumulative delivered payload bytes
+	fbSent   int64    // our own WireBytes at that report
+	lossEWMA float64  // smoothed reported loss fraction
+
+	// Recovery-bandwidth token bucket (RecoveryFrac): bytes of resend
+	// budget, replenished at RecoveryFrac x RateBps.
+	retxTokens float64
+	retxLast   sim.Time
+	retxInit   bool
+
 	m senderMetrics
 
 	Stats SenderStats
@@ -115,6 +139,9 @@ type Sender struct {
 // NewSender creates the sending end of a stream. send transmits one
 // wire packet toward the receiver.
 func NewSender(sched *sim.Scheduler, send func([]byte) error, cfg Config) (*Sender, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.fill()
 	if cfg.fragPayload() < 8 {
 		return nil, fmt.Errorf("%w: MTU %d", ErrMTUTooSmall, cfg.MTU)
@@ -230,8 +257,38 @@ func (s *Sender) BufferedBytes() int { return s.bufBytes }
 func (s *Sender) BufferedADUs() int { return len(s.buffered) }
 
 // SetRate changes the pacing rate (out-of-band rate control, §3). Zero
-// disables pacing.
+// disables pacing. With a Controller configured this is the knob the
+// control loop itself turns; calling it by hand still works but the
+// next feedback report may override it.
 func (s *Sender) SetRate(bps float64) { s.cfg.RateBps = bps }
+
+// Rate returns the current pacing rate in bits/s (zero: unpaced).
+func (s *Sender) Rate() float64 { return s.cfg.RateBps }
+
+// backlog reports how far into the future the pacer is booked: the
+// delay a fragment submitted now would wait before reaching the wire.
+func (s *Sender) backlog(now sim.Time) sim.Duration {
+	if s.pacerFree > now {
+		return s.pacerFree.Sub(now)
+	}
+	return 0
+}
+
+// Backlog returns the current pacer backlog.
+func (s *Sender) Backlog() sim.Duration { return s.backlog(s.sched.Now()) }
+
+// shouldShed reports whether the sender is overloaded enough to shed
+// Droppable ADUs: the pacer is booked past ShedBacklog, or the
+// receiver-reported loss EWMA exceeds ShedLossFrac.
+func (s *Sender) shouldShed() bool {
+	if s.cfg.ShedBacklog > 0 && s.backlog(s.sched.Now()) > s.cfg.ShedBacklog {
+		return true
+	}
+	if s.cfg.ShedLossFrac > 0 && s.lossEWMA > s.cfg.ShedLossFrac {
+		return true
+	}
+	return false
+}
 
 // Send frames data as the next ADU and transmits its fragments. tag is
 // the application's naming information for the ADU (file offset, frame
@@ -245,6 +302,24 @@ func (s *Sender) SetRate(bps float64) { s.cfg.RateBps = bps }
 // packetization touches the data exactly once and allocates nothing in
 // steady state.
 func (s *Sender) Send(tag uint64, syntax xcode.SyntaxID, data []byte) (uint64, error) {
+	return s.SendClass(tag, syntax, data, Standard)
+}
+
+// SendClass is Send with an explicit priority class (ratecontrol.go):
+// the application's statement of what must survive overload. Critical
+// and Standard ADUs always transmit; a Droppable ADU submitted while
+// the sender is overloaded (pacer backlog past ShedBacklog, or the
+// reported-loss EWMA past ShedLossFrac) is shed before packetization —
+// SendClass returns ErrShed, the ADU consumes no name, and nothing
+// reaches the network. Shedding here, at the sender, is the ALF
+// position on overload: the application picks what is lost, instead of
+// a bottleneck queue tail-dropping fragments blindly.
+func (s *Sender) SendClass(tag uint64, syntax xcode.SyntaxID, data []byte, class Priority) (uint64, error) {
+	if class == Droppable && s.shouldShed() {
+		s.Stats.ShedADUs++
+		s.cfg.Tracer.ADUShed(s.cfg.StreamID, s.nextName, tag, len(data))
+		return 0, ErrShed
+	}
 	if len(data) > s.cfg.MaxADU {
 		return 0, fmt.Errorf("%w: %d bytes", ErrADUTooLarge, len(data))
 	}
@@ -258,7 +333,7 @@ func (s *Sender) Send(tag uint64, syntax xcode.SyntaxID, data []byte) (uint64, e
 
 	retain := s.cfg.Policy == SenderBuffered
 	if retain {
-		saved := &savedADU{tag: tag, syntax: syntax, wireLen: len(data), check: ck, sentAt: s.sched.Now()}
+		saved := &savedADU{tag: tag, syntax: syntax, wireLen: len(data), check: ck, sentAt: s.sched.Now(), class: class}
 		saved.frags = append(saved.frags, frags...)
 		s.buffered[name] = saved
 		s.bufBytes += len(data)
@@ -411,6 +486,7 @@ type fragRef struct {
 // way: the fallback recycles the buffer as soon as the send function
 // returns (which must not retain the slice).
 func (s *Sender) sendOut(pkt *buf.Ref) {
+	s.Stats.WireBytes += int64(pkt.Len())
 	if s.SendRef != nil {
 		_ = s.SendRef(pkt)
 		return
@@ -458,9 +534,13 @@ func (s *Sender) emit(pkt *buf.Ref, priority bool, markNext uint64, ref fragRef)
 	})
 }
 
-// HandleControl processes a control message from the receiver:
-// cumulative releases and per-ADU recovery requests.
+// HandleControl processes a message from the receiver on the control
+// channel: cumulative releases and per-ADU recovery requests (CTRL),
+// or a delivery report (FB) for the rate-control loop.
 func (s *Sender) HandleControl(pkt []byte) error {
+	if len(pkt) > 0 && pkt[0] == typeFB {
+		return s.handleFeedback(pkt)
+	}
 	c, err := parseControl(pkt)
 	if err != nil {
 		s.Stats.CtrlDropped++
@@ -497,6 +577,87 @@ func (s *Sender) HandleControl(pkt []byte) error {
 	return nil
 }
 
+// handleFeedback folds one receiver delivery report into the closed
+// loop: dedupe by sequence, delta the cumulative counters into a
+// RateSample, update the loss EWMA that drives shedding, and let the
+// controller (if any) set the next pacing rate.
+func (s *Sender) handleFeedback(pkt []byte) error {
+	stream, seq, wire, good, err := parseFeedback(pkt)
+	if err != nil {
+		s.Stats.CtrlDropped++
+		return err
+	}
+	if stream != s.cfg.StreamID {
+		return ErrWrongStream
+	}
+	if seq <= s.fbSeq {
+		// Reordered or duplicated report: a newer cumulative view was
+		// already processed, so this one carries nothing.
+		return nil
+	}
+	now := s.sched.Now()
+	sent := s.Stats.WireBytes
+	sample := RateSample{
+		Interval:       now.Sub(s.fbAt),
+		SentBytes:      sent - s.fbSent,
+		RecvBytes:      int64(wire) - s.fbWire,
+		DeliveredBytes: int64(good) - s.fbGood,
+		Backlog:        s.backlog(now),
+	}
+	if sample.SentBytes > 0 {
+		lf := 1 - float64(sample.RecvBytes)/float64(sample.SentBytes)
+		if lf < 0 {
+			lf = 0
+		} else if lf > 1 {
+			lf = 1
+		}
+		sample.LossFrac = lf
+	}
+	s.fbSeq, s.fbAt, s.fbWire, s.fbGood, s.fbSent = seq, now, int64(wire), int64(good), sent
+	s.lossEWMA = 0.7*s.lossEWMA + 0.3*sample.LossFrac
+	s.Stats.FeedbackRecv++
+	if s.cfg.Controller != nil {
+		next := s.cfg.Controller.OnFeedback(s.cfg.RateBps, sample)
+		if next > 0 && next != s.cfg.RateBps {
+			s.Stats.RateChanges++
+			s.cfg.Tracer.RateChanged(s.cfg.StreamID, s.cfg.RateBps, next)
+			s.cfg.RateBps = next
+		}
+	}
+	return nil
+}
+
+// allowRecovery charges n wire bytes of retransmission against the
+// recovery-bandwidth token bucket (RecoveryFrac x RateBps, one second
+// of burst). During a loss episode this is what keeps recovery traffic
+// from compounding the congestion that caused the loss. Critical ADUs
+// always pass — they still debit the bucket, so their resends consume
+// the budget Standard resends would have used — and a false return
+// means the resend is withheld; the receiver's NACK backoff retries.
+func (s *Sender) allowRecovery(n int, class Priority) bool {
+	if s.cfg.RecoveryFrac <= 0 || s.cfg.RateBps <= 0 {
+		return true
+	}
+	now := s.sched.Now()
+	rate := s.cfg.RecoveryFrac * s.cfg.RateBps / 8 // bytes/s of budget
+	burst := rate                                  // one second of headroom
+	if !s.retxInit {
+		s.retxTokens, s.retxInit = burst, true
+	} else {
+		s.retxTokens += now.Sub(s.retxLast).Seconds() * rate
+		if s.retxTokens > burst {
+			s.retxTokens = burst
+		}
+	}
+	s.retxLast = now
+	if class != Critical && s.retxTokens < float64(n) {
+		s.Stats.RetxSuppressed++
+		return false
+	}
+	s.retxTokens -= float64(n)
+	return true
+}
+
 // resend recovers one ADU according to the stream policy.
 func (s *Sender) resend(name uint64) {
 	switch s.cfg.Policy {
@@ -504,6 +665,10 @@ func (s *Sender) resend(name uint64) {
 		saved, ok := s.buffered[name]
 		if !ok {
 			s.Stats.UnfilledNacks++
+			return
+		}
+		wireLen := saved.wireLen + len(saved.frags)*HeaderSize
+		if !s.allowRecovery(wireLen, saved.class) {
 			return
 		}
 		s.Stats.ResentADUs++
@@ -518,6 +683,9 @@ func (s *Sender) resend(name uint64) {
 		tag, syntax, data, ok := s.OnResend(name)
 		if !ok {
 			s.Stats.UnfilledNacks++
+			return
+		}
+		if !s.allowRecovery(len(data)+HeaderSize, Standard) {
 			return
 		}
 		s.Stats.RecomputeADUs++

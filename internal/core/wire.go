@@ -35,6 +35,7 @@ const (
 	typeData = 1
 	typeCtrl = 2
 	typeHB   = 3
+	typeFB   = 4
 )
 
 // Header flags.
@@ -194,16 +195,59 @@ func parseHeartbeat(pkt []byte) (stream byte, next uint64, err error) {
 	return pkt[1], binary.BigEndian.Uint64(pkt[2:10]), nil
 }
 
+// Feedback layout (big-endian): the receiver's periodic delivery
+// report, the other half of the §3 rate-based control loop. The
+// counters are cumulative since stream start, so a lost or reordered
+// report only delays the sender's view — it never corrupts it (the
+// sender keeps the last sequence number it processed and drops stale
+// reports). The sender turns consecutive reports into per-interval
+// deltas (RateSample) for its RateController.
+//
+//	0     type (4=FB)
+//	1     stream id
+//	2:6   report sequence number
+//	6:14  wire bytes accepted, cumulative (headers + payload, dups and
+//	      late fragments included: what the network delivered)
+//	14:22 verified ADU payload bytes delivered, cumulative (goodput)
+//	22:24 checksum over the whole message
+const feedbackSize = 24
+
+// encodeFeedback writes the report into buf[:feedbackSize] and returns
+// that slice. The receiver passes a reused scratch buffer so the
+// periodic report allocates nothing.
+func encodeFeedback(buf []byte, stream byte, seq uint32, wire, good uint64) []byte {
+	msg := buf[:feedbackSize]
+	msg[0] = typeFB
+	msg[1] = stream
+	binary.BigEndian.PutUint32(msg[2:6], seq)
+	binary.BigEndian.PutUint64(msg[6:14], wire)
+	binary.BigEndian.PutUint64(msg[14:22], good)
+	msg[22], msg[23] = 0, 0
+	binary.BigEndian.PutUint16(msg[22:24], checksum.Sum16(msg))
+	return msg
+}
+
+// parseFeedback decodes and verifies a feedback report. Values return
+// by value so the per-report path does not allocate.
+func parseFeedback(pkt []byte) (stream byte, seq uint32, wire, good uint64, err error) {
+	if len(pkt) != feedbackSize || pkt[0] != typeFB || !checksum.Verify16(pkt) {
+		return 0, 0, 0, 0, fmt.Errorf("%w: feedback", ErrBadHeader)
+	}
+	return pkt[1], binary.BigEndian.Uint32(pkt[2:6]),
+		binary.BigEndian.Uint64(pkt[6:14]), binary.BigEndian.Uint64(pkt[14:22]), nil
+}
+
 // PacketType inspects a wire packet and reports whether it is an ALF
-// DATA fragment (1), control message (2), heartbeat (3), or unknown
-// (0). Useful for demultiplexers that share a node between protocols.
-// DATA and HB packets flow sender->receiver; CTRL flows back.
+// DATA fragment (1), control message (2), heartbeat (3), feedback
+// report (4), or unknown (0). Useful for demultiplexers that share a
+// node between protocols. DATA and HB packets flow sender->receiver;
+// CTRL and FB flow back.
 func PacketType(pkt []byte) int {
 	if len(pkt) == 0 {
 		return 0
 	}
 	switch pkt[0] {
-	case typeData, typeCtrl, typeHB:
+	case typeData, typeCtrl, typeHB, typeFB:
 		return int(pkt[0])
 	default:
 		return 0

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/faults/soak"
+)
+
+// OverloadPoint is one sender stance measured through the shared
+// 8 Mb/s bottleneck of the overload soak rig (three streams offering
+// 18 Mb/s aggregate): the §3 argument that transmission control
+// should be rate-based and closed-loop, quantified. The fixed stance
+// is today's open-loop `Config.RateBps`; the closed stance adds
+// receiver feedback, the AIMD controller, priority shedding, and the
+// recovery-bandwidth cap.
+type OverloadPoint struct {
+	Mode string // "fixed" or "closed"
+	// GoodputMbps is complete-ADU payload delivered over the submit
+	// window.
+	GoodputMbps float64
+	// CapacityFrac is goodput as a fraction of bottleneck capacity.
+	CapacityFrac float64
+	// DeliveredFrac is complete ADUs delivered over ADUs accepted onto
+	// the wire path (shed Droppables excluded — they never consumed
+	// network capacity, which is the point).
+	DeliveredFrac float64
+	// CriticalLost counts lost Critical ADUs across all streams — the
+	// application's must-arrive tier.
+	CriticalLost int
+	// ShedADUs counts Droppable ADUs refused before transmission.
+	ShedADUs int64
+	// TrunkDrops counts bottleneck tail-drops — work the network did
+	// only to throw away.
+	TrunkDrops int64
+	// Passed reports whether the run upheld every no-collapse
+	// invariant (goodput floor, Critical protection, clean drain).
+	Passed bool
+}
+
+// OverloadConfig parameterizes the contrast run.
+type OverloadConfig struct {
+	Seed  int64
+	Shape string // arrival pattern (default "steady")
+}
+
+// RunOverloadContrast runs the same overload twice — open-loop and
+// closed-loop — and returns both points, fixed first. The contrast is
+// the experiment: identical offered load, identical bottleneck, and
+// only the closed stance keeps goodput near capacity while losing no
+// Critical ADU.
+func RunOverloadContrast(cfg OverloadConfig) ([]OverloadPoint, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	pts := make([]OverloadPoint, 0, 2)
+	for _, mode := range []string{"fixed", "closed"} {
+		res, err := soak.RunOverload(soak.OverloadConfig{
+			Seed: cfg.Seed, Shape: cfg.Shape, Mode: mode,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("overload %s: %w", mode, err)
+		}
+		p := OverloadPoint{
+			Mode:         mode,
+			GoodputMbps:  res.GoodputBps / 1e6,
+			CapacityFrac: res.GoodputBps / res.CapacityBps,
+			ShedADUs:     res.ShedADUs,
+			TrunkDrops:   res.TrunkDrops,
+			Passed:       res.Passed(),
+		}
+		var accepted, delivered int
+		for _, st := range res.Streams {
+			accepted += st.Accepted
+			delivered += st.Delivered
+			p.CriticalLost += st.CriticalLost
+		}
+		if accepted > 0 {
+			p.DeliveredFrac = float64(delivered) / float64(accepted)
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}

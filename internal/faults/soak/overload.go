@@ -1,0 +1,418 @@
+package soak
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	alf "repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/tracing"
+	"repro/internal/xcode"
+)
+
+// This file is the overload scenario family: no link ever fails, the
+// network is simply asked for more than it has. Several ALF streams
+// share one bottleneck trunk at an aggregate offered load well above
+// its capacity, and the run checks the no-collapse invariants:
+//
+//   - Aggregate goodput stays at or above 70% of the bottleneck
+//     capacity (or of the accepted load, whichever is smaller) — the
+//     network keeps doing useful work instead of collapsing into
+//     retransmission storms and tail drops.
+//   - No Critical ADU is ever lost: load shedding and the recovery
+//     cap sacrifice Droppable and throttle Standard traffic first.
+//   - No ADU is delivered twice or corrupted.
+//   - After submission stops the whole rig drains to quiescence:
+//     pacer backlogs, link queues, reassembly buffers, and retention
+//     all empty without livelock.
+//
+// Mode selects the sender stance: "closed" runs the full overload
+// toolkit (feedback reports, AIMD rate control, priority shedding,
+// recovery cap); "fixed" is the naive baseline that blasts at the
+// offered rate with no feedback at all. The same invariants are
+// evaluated either way — the point of the family is that closed-loop
+// passes where fixed-rate demonstrably does not.
+
+// OverloadConfig parameterizes one overload run. Zero fields take
+// defaults.
+type OverloadConfig struct {
+	// Seed determines the run (queue tie-breaks, heartbeat jitter).
+	Seed int64
+	// Shape names the arrival pattern: "steady" (constant rate),
+	// "burst" (on/off duty cycles, phase-shifted per stream), or
+	// "flash" (a flash crowd: a third of the load arrives almost at
+	// once, then steady). Default "steady".
+	Shape string
+	// Mode is "closed" (feedback + AIMD + shedding + recovery cap) or
+	// "fixed" (open-loop at the offered rate). Default "closed".
+	Mode string
+	// Duration is the virtual horizon; submission occupies the first
+	// 2/3 and the tail is quiet for drain (default 6 s).
+	Duration sim.Duration
+	// Streams is the number of competing senders (default 3).
+	Streams int
+	// OfferedBps is the per-stream offered load (default 6 Mb/s, so
+	// three streams offer 18 Mb/s into an 8 Mb/s trunk).
+	OfferedBps float64
+	// ADUBytes sizes each ADU (default 3000 B — three fragments).
+	ADUBytes int
+	// Metrics and Tracer, if non-nil, instrument the whole rig.
+	Metrics *metrics.Registry
+	Tracer  *tracing.Tracer
+}
+
+func (c *OverloadConfig) fill() {
+	if c.Shape == "" {
+		c.Shape = "steady"
+	}
+	if c.Mode == "" {
+		c.Mode = "closed"
+	}
+	if c.Duration == 0 {
+		c.Duration = 6 * time.Second
+	}
+	if c.Streams == 0 {
+		c.Streams = 3
+	}
+	if c.OfferedBps == 0 {
+		c.OfferedBps = 6e6
+	}
+	if c.ADUBytes == 0 {
+		c.ADUBytes = 3000
+	}
+}
+
+// trunkRateBps is the bottleneck capacity shared by every stream.
+const trunkRateBps = 8e6
+
+// OverloadShapes lists the arrival patterns the family covers.
+var OverloadShapes = []string{"steady", "burst", "flash"}
+
+// aduClass is the deterministic priority mix: per ten ADUs, one
+// Critical, three Standard, six Droppable — a control/keyframe/filler
+// split. Both submission and loss accounting derive class from the
+// name alone.
+func aduClass(name uint64) alf.Priority {
+	switch name % 10 {
+	case 0:
+		return alf.Critical
+	case 1, 2, 3:
+		return alf.Standard
+	default:
+		return alf.Droppable
+	}
+}
+
+// submitAt places ADU i of `total` on one stream within the window.
+func submitAt(shape string, stream, i, total int, window sim.Duration) sim.Duration {
+	t := window * sim.Duration(i) / sim.Duration(total)
+	switch shape {
+	case "burst":
+		// Eight duty cycles, each 2/3 on, 1/3 silent — the on-rate is
+		// 1.5x the average. Streams are phase-shifted a third of a
+		// period apart so bursts collide but not in lockstep.
+		period := window / 8
+		j := t / period
+		t = j*period + (t-j*period)*2/3 + sim.Duration(stream)*period/3
+	case "flash":
+		// Flash crowd: 30% of the load lands in the first 8% of the
+		// window, the rest is steady.
+		f := total * 3 / 10
+		if i < f {
+			t = window * 8 / 100 * sim.Duration(i) / sim.Duration(f)
+		} else {
+			t = window/10 + window*9/10*sim.Duration(i-f)/sim.Duration(total-f)
+		}
+	}
+	return t
+}
+
+// OverloadStream is one sender's accounting in an overload run.
+type OverloadStream struct {
+	StreamID       byte
+	Submitted      int   // ADUs offered by the application
+	Accepted       int   // ADUs the sender took onto the wire path
+	Shed           int   // Droppable ADUs refused pre-transmission
+	Delivered      int   // complete ADUs at the receiver
+	Lost           int   // ADUs the receiver gave up on
+	CriticalLost   int   // the invariant: must be zero
+	AcceptedBytes  int64 // payload bytes behind Accepted
+	DeliveredBytes int64 // payload bytes behind Delivered
+	FinalRateBps   float64
+	RateChanges    int64
+	RetxSuppressed int64
+}
+
+// OverloadResult reports one overload run. Violations empty means
+// every no-collapse invariant held.
+type OverloadResult struct {
+	Mode    string
+	Shape   string
+	Seed    int64
+	Horizon sim.Duration
+
+	CapacityBps    float64
+	OfferedBps     float64 // aggregate across streams
+	GoodputBps     float64 // delivered payload over the submit window
+	GoodputTarget  float64 // the 70% floor this run was held to
+	AcceptedBytes  int64
+	DeliveredBytes int64
+	ShedADUs       int64
+	TrunkDrops     int64 // bottleneck tail drops, both directions
+
+	Streams     []OverloadStream
+	DrainEvents uint64
+	EndVirtual  sim.Time
+	Violations  []string
+}
+
+// Passed reports whether every invariant held.
+func (r *OverloadResult) Passed() bool { return len(r.Violations) == 0 }
+
+func (r *OverloadResult) violatef(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// RunOverload executes one overload scenario to quiescence and returns
+// the invariant report. It errors only on harness misconfiguration;
+// congestion consequences are Violations, not errors.
+func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
+	cfg.fill()
+	res := &OverloadResult{Mode: cfg.Mode, Shape: cfg.Shape, Seed: cfg.Seed,
+		Horizon: cfg.Duration, CapacityBps: trunkRateBps,
+		OfferedBps: cfg.OfferedBps * float64(cfg.Streams)}
+
+	// ---- Topology: N sources and N sinks joined by one bottleneck.
+	//
+	//	src1 ─┐                        ┌─ dst1
+	//	src2 ─┼─ rL ═══ bottleneck ═══ rR ─┼─ dst2
+	//	src3 ─┘      (8 Mb/s, q=64)    └─ dst3
+	//
+	// Access links are clean and an order of magnitude faster than the
+	// trunk; all contention lives in the shared queue.
+	s := sim.NewScheduler()
+	cfg.Tracer.Bind(s)
+	net := netsim.New(s, cfg.Seed)
+	rL := net.NewRouter("rL")
+	rR := net.NewRouter("rR")
+	trunkCfg := netsim.LinkConfig{
+		RateBps: trunkRateBps, Delay: 10 * time.Millisecond, QueueLimit: 64,
+	}
+	lr, rl := net.NewDuplex(rL.Node, rR.Node, trunkCfg)
+	access := netsim.LinkConfig{RateBps: 100e6, Delay: 200 * time.Microsecond}
+
+	if cfg.Metrics != nil {
+		net.SetMetrics(cfg.Metrics)
+	}
+	net.SetTracer(cfg.Tracer)
+
+	submitWindow := cfg.Duration * 2 / 3
+	perStream := int(cfg.OfferedBps / 8 * submitWindow.Seconds() / float64(cfg.ADUBytes))
+	if perStream < 1 {
+		perStream = 1
+	}
+
+	res.Streams = make([]OverloadStream, cfg.Streams)
+
+	type streamState struct {
+		snd       *alf.Sender
+		rcv       *alf.Receiver
+		delivered map[uint64]int
+		// submitted maps assigned wire names back to submission indices
+		// (shed Droppables consume no name, so wire names and submission
+		// order diverge under load — exactly when verification matters).
+		submitted map[uint64]int
+		acct      *OverloadStream
+	}
+	streams := make([]*streamState, cfg.Streams)
+
+	for i := 0; i < cfg.Streams; i++ {
+		id := byte(i + 1)
+		src := net.NewNode(fmt.Sprintf("src%d", id))
+		dst := net.NewNode(fmt.Sprintf("dst%d", id))
+		up, down := net.NewDuplex(src, rL.Node, access)
+		dUp, dDown := net.NewDuplex(dst, rR.Node, access)
+		rL.AddRoute(dst, lr)
+		rL.AddRoute(src, down)
+		rR.AddRoute(src, rl)
+		rR.AddRoute(dst, dDown)
+
+		aCfg := alf.Config{
+			StreamID:          id,
+			Policy:            alf.SenderBuffered,
+			RateBps:           cfg.OfferedBps,
+			NackDelay:         10 * time.Millisecond,
+			NackInterval:      20 * time.Millisecond,
+			HoldTime:          2 * time.Second,
+			MaxNacks:          8,
+			HeartbeatInterval: 25 * time.Millisecond,
+			HeartbeatLimit:    1 << 30,
+			Metrics:           cfg.Metrics,
+			Tracer:            cfg.Tracer,
+		}
+		if cfg.Mode == "closed" {
+			aCfg.FeedbackInterval = 50 * time.Millisecond
+			aCfg.Controller = &alf.AIMD{
+				Floor: 256e3, Ceil: cfg.OfferedBps, ProbeBps: 2e5,
+			}
+			aCfg.ShedBacklog = 150 * time.Millisecond
+			aCfg.ShedLossFrac = 0.25
+			aCfg.RecoveryFrac = 0.25
+		}
+
+		snd, err := alf.NewSender(s, func(p []byte) error {
+			return netsim.SendVia(up, dst, p)
+		}, aCfg)
+		if err != nil {
+			return nil, err
+		}
+		rcv, err := alf.NewReceiver(s, func(p []byte) error {
+			return netsim.SendVia(dUp, src, p)
+		}, aCfg)
+		if err != nil {
+			return nil, err
+		}
+		src.SetHandler(func(p *netsim.Packet) { snd.HandleControl(p.Payload) })
+		dst.SetHandler(func(p *netsim.Packet) { rcv.HandlePacket(p.Payload) })
+
+		res.Streams[i].StreamID = id
+		st := &streamState{snd: snd, rcv: rcv,
+			delivered: make(map[uint64]int),
+			submitted: make(map[uint64]int),
+			acct:      &res.Streams[i]}
+		streams[i] = st
+
+		rcv.OnADU = func(adu alf.ADU) {
+			st.delivered[adu.Name]++
+			if st.delivered[adu.Name] > 1 {
+				res.violatef("stream %d: ADU %d delivered %d times",
+					id, adu.Name, st.delivered[adu.Name])
+				return
+			}
+			k, known := st.submitted[adu.Name]
+			if !known {
+				res.violatef("stream %d: ADU %d delivered but never accepted", id, adu.Name)
+				return
+			}
+			if adu.Tag != aduTag(uint64(k)) {
+				res.violatef("stream %d: ADU %d delivered with tag %d, want %d",
+					id, adu.Name, adu.Tag, aduTag(uint64(k)))
+			}
+			if !bytes.Equal(adu.Data, aduPayload(uint64(k), cfg.ADUBytes)) {
+				res.violatef("stream %d: ADU %d delivered corrupted", id, adu.Name)
+			}
+			st.acct.Delivered++
+			st.acct.DeliveredBytes += int64(len(adu.Data))
+		}
+		rcv.OnLost = func(name uint64) {
+			st.acct.Lost++
+			if k, known := st.submitted[name]; known && aduClass(uint64(k)) == alf.Critical {
+				st.acct.CriticalLost++
+				res.violatef("stream %d: Critical ADU %d lost under overload", id, name)
+			}
+		}
+
+		// ---- Workload: perStream ADUs shaped over the submit window.
+		for k := 0; k < perStream; k++ {
+			k := k
+			s.After(submitAt(cfg.Shape, i, k, perStream, submitWindow), func() {
+				st.acct.Submitted++
+				class := aduClass(uint64(k))
+				name, err := snd.SendClass(aduTag(uint64(k)), xcode.SyntaxRaw,
+					aduPayload(uint64(k), cfg.ADUBytes), class)
+				switch {
+				case err == nil:
+					st.submitted[name] = k
+					st.acct.Accepted++
+					st.acct.AcceptedBytes += int64(cfg.ADUBytes)
+				case err == alf.ErrShed && class == alf.Droppable:
+					st.acct.Shed++
+				default:
+					res.violatef("stream %d: Send(%d) failed: %v", id, k, err)
+				}
+			})
+		}
+	}
+
+	// ---- Run to the horizon, then drain to quiescence with the same
+	// livelock bounds as the fault soak.
+	s.RunUntil(sim.Time(0).Add(cfg.Duration))
+	maxVirtual := sim.Time(0).Add(cfg.Duration + 15*time.Second)
+	firedAtHorizon := s.Fired()
+	const maxDrainEvents = 5_000_000
+	for s.Step() {
+		if s.Now() > maxVirtual {
+			res.violatef("livelock: events still firing at %v past the horizon", s.Now())
+			break
+		}
+		if s.Fired()-firedAtHorizon > maxDrainEvents {
+			res.violatef("livelock: %d drain events without quiescence",
+				s.Fired()-firedAtHorizon)
+			break
+		}
+	}
+	res.DrainEvents = s.Fired() - firedAtHorizon
+	res.EndVirtual = s.Now()
+
+	// ---- Aggregate accounting and invariants.
+	for _, st := range streams {
+		a := st.acct
+		a.ShedADUsConsistency(res)
+		a.FinalRateBps = st.snd.Rate()
+		a.RateChanges = st.snd.Stats.RateChanges
+		a.RetxSuppressed = st.snd.Stats.RetxSuppressed
+		res.AcceptedBytes += a.AcceptedBytes
+		res.DeliveredBytes += a.DeliveredBytes
+		res.ShedADUs += st.snd.Stats.ShedADUs
+
+		if n := st.snd.BufferedADUs(); n != 0 {
+			res.violatef("stream %d: %d ADUs still retained after drain", a.StreamID, n)
+		}
+		if b := st.snd.Backlog(); b != 0 {
+			res.violatef("stream %d: pacer still %v backlogged after drain", a.StreamID, b)
+		}
+		if n := st.rcv.Pending(); n != 0 {
+			res.violatef("stream %d: %d partial ADUs still held after drain", a.StreamID, n)
+		}
+		if n := st.rcv.Missing(); n != 0 {
+			res.violatef("stream %d: %d ADUs still tracked missing after drain", a.StreamID, n)
+		}
+	}
+	for _, l := range net.Links() {
+		if q := l.QueueLen(); q != 0 {
+			res.violatef("netsim: link %s->%s still queues %d packets after drain",
+				l.From().Name(), l.To().Name(), q)
+		}
+	}
+	res.TrunkDrops = lr.Stats.QueueDrops + rl.Stats.QueueDrops
+
+	// Goodput floor: delivered payload over the submit window must
+	// reach 70% of the lesser of bottleneck capacity and the load the
+	// senders actually accepted — shedding the Droppable tier is
+	// legitimate, delivering under 70% of capacity is collapse.
+	winSec := submitWindow.Seconds()
+	res.GoodputBps = float64(res.DeliveredBytes) * 8 / winSec
+	capBps := res.CapacityBps
+	if accepted := float64(res.AcceptedBytes) * 8 / winSec; accepted < capBps {
+		capBps = accepted
+	}
+	res.GoodputTarget = 0.7 * capBps
+	if res.GoodputBps < res.GoodputTarget {
+		res.violatef("goodput %.2f Mb/s under the %.2f Mb/s no-collapse floor (capacity %.0f Mb/s)",
+			res.GoodputBps/1e6, res.GoodputTarget/1e6, res.CapacityBps/1e6)
+	}
+	return res, nil
+}
+
+// ShedADUsConsistency cross-checks the application-side shed count
+// against submission accounting: every submitted ADU was accepted or
+// shed, and only Droppables were shed.
+func (a *OverloadStream) ShedADUsConsistency(res *OverloadResult) {
+	if a.Accepted+a.Shed != a.Submitted {
+		res.violatef("stream %d: accepted %d + shed %d != submitted %d",
+			a.StreamID, a.Accepted, a.Shed, a.Submitted)
+	}
+}

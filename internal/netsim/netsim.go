@@ -48,6 +48,10 @@ type Packet struct {
 	ref   *buf.Ref // counted payload buffer; nil only transiently
 	link  *Link    // owning link while queued/in flight
 	delay sim.Duration
+	// shed marks a queued packet dropped by a QueueLimit shrink while
+	// its (uncancellable, pooled) departure event was already scheduled;
+	// departCB discards it instead of delivering.
+	shed bool
 }
 
 // Handler consumes packets arriving at a node. Handlers run inside
@@ -278,7 +282,8 @@ type LinkStats struct {
 	SentBytes      int64
 	Delivered      int64 // packets handed to the destination node
 	DeliveredBytes int64
-	QueueDrops     int64 // drop-tail losses
+	QueueDrops     int64 // drop-tail losses (QueueLimit full at send time)
+	ShrinkDrops    int64 // queued packets dropped by a QueueLimit shrink
 	LineLosses     int64 // impairment losses (random + burst)
 	DownDrops      int64 // packets dropped because the link was down
 	HeldPackets    int64 // packets parked by HoldOnDown (cumulative)
@@ -298,7 +303,8 @@ type Link struct {
 
 	busyUntil sim.Time
 	queued    int
-	inBad     bool // Gilbert–Elliott state
+	q         []*Packet // committed to serialization, FIFO (mirrors queued minus shed)
+	inBad     bool      // Gilbert–Elliott state
 	down      bool
 	held      []*Packet // parked by HoldOnDown, FIFO
 	Stats     LinkStats
@@ -333,6 +339,7 @@ func (l *Link) bindMetrics(r *metrics.Registry, idx int) {
 		{"netsim.link.delivered", func() int64 { return st.Delivered }},
 		{"netsim.link.delivered_bytes", func() int64 { return st.DeliveredBytes }},
 		{"netsim.link.queue_drops", func() int64 { return st.QueueDrops }},
+		{"netsim.link.shrink_drops", func() int64 { return st.ShrinkDrops }},
 		{"netsim.link.line_losses", func() int64 { return st.LineLosses }},
 		{"netsim.link.down_drops", func() int64 { return st.DownDrops }},
 		{"netsim.link.held_packets", func() int64 { return st.HeldPackets }},
@@ -379,7 +386,50 @@ func (l *Link) Label() string { return l.label }
 // Gilbert–Elliott state machine carries over. Fault scenarios use this
 // to degrade a live link (raise loss, stretch delay) and later restore
 // the saved config.
-func (l *Link) UpdateConfig(cfg LinkConfig) { l.cfg = cfg }
+//
+// Shrinking QueueLimit below the current backlog drops the excess —
+// newest first, held packets before committed ones — counted as
+// LinkStats.ShrinkDrops with drop cause "shrink"; it never panics and
+// never delivers a packet the new limit disowns.
+func (l *Link) UpdateConfig(cfg LinkConfig) {
+	l.cfg = cfg
+	l.shrinkToLimit()
+}
+
+// shrinkToLimit enforces a lowered QueueLimit over the live backlog.
+// Held packets (not yet committed to serialization) are freed outright.
+// Committed packets already have pooled departure events scheduled that
+// cannot be cancelled safely, so they are marked shed and discarded by
+// departCB when the event fires; their accounting (queued, stats,
+// trace) settles here, immediately. Serialization time the shed
+// packets had claimed is not reclaimed — the link behaves as if the
+// drop happened at the transmitter's output, after the bytes crossed
+// the wire-side queue.
+func (l *Link) shrinkToLimit() {
+	limit := l.cfg.QueueLimit
+	if limit <= 0 {
+		return
+	}
+	for l.queued+len(l.held) > limit && len(l.held) > 0 {
+		n := len(l.held) - 1
+		pkt := l.held[n]
+		l.held[n] = nil
+		l.held = l.held[:n]
+		l.Stats.ShrinkDrops++
+		l.net.tracer.PacketDropped(l.label, "shrink", pkt.Payload)
+		l.net.putPacket(pkt)
+	}
+	for i := len(l.q) - 1; i >= 0 && l.queued+len(l.held) > limit; i-- {
+		pkt := l.q[i]
+		if pkt.shed {
+			continue
+		}
+		pkt.shed = true
+		l.queued--
+		l.Stats.ShrinkDrops++
+		l.net.tracer.PacketDropped(l.label, "shrink", pkt.Payload)
+	}
+}
 
 // Down reports whether the link is administratively down.
 func (l *Link) Down() bool { return l.down }
@@ -490,8 +540,28 @@ func (l *Link) sendRef(ref *buf.Ref, finalTo NodeID) error {
 func departCB(arg any) {
 	pkt := arg.(*Packet)
 	l := pkt.link
+	l.dequeue(pkt)
+	if pkt.shed {
+		// Dropped by a QueueLimit shrink while waiting; the queue
+		// accounting and the drop event were settled at shrink time.
+		l.net.putPacket(pkt)
+		return
+	}
 	l.queued--
 	l.depart(pkt)
+}
+
+// dequeue removes pkt from the committed-FIFO mirror. Departures fire
+// in enqueue order, so the match is at (or near, after sheds) the head.
+func (l *Link) dequeue(pkt *Packet) {
+	for i, p := range l.q {
+		if p == pkt {
+			copy(l.q[i:], l.q[i+1:])
+			l.q[len(l.q)-1] = nil
+			l.q = l.q[:len(l.q)-1]
+			return
+		}
+	}
 }
 
 // enqueue commits pkt to serialization: it departs when the link has
@@ -507,6 +577,7 @@ func (l *Link) enqueue(pkt *Packet) {
 	l.net.tracer.PacketQueued(l.label, pkt.Payload, start.Sub(now), txEnd.Sub(start))
 	l.busyUntil = txEnd
 	pkt.link = l
+	l.q = append(l.q, pkt)
 	l.net.Sched.AtCall(txEnd, departCB, pkt)
 }
 

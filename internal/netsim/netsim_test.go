@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/tracing"
 )
 
 func pair(t *testing.T, cfg LinkConfig, seed int64) (*sim.Scheduler, *Network, *Node, *Node, *Link) {
@@ -602,5 +603,142 @@ func TestLinksBetween(t *testing.T) {
 	}
 	if len(n.Links()) != 4 {
 		t.Errorf("Links() = %d, want 4", len(n.Links()))
+	}
+}
+
+// TestUpdateConfigShrinkBelowBacklog: shrinking QueueLimit under the
+// live backlog must drop the excess (newest first) with the distinct
+// "shrink" cause, never panic, and never deliver a disowned packet.
+func TestUpdateConfigShrinkBelowBacklog(t *testing.T) {
+	s, n, _, b, l := pair(t, LinkConfig{RateBps: 1e6, QueueLimit: 10}, 1)
+	tr := tracing.New(s)
+	n.SetTracer(tr)
+	var got []byte
+	b.SetHandler(func(p *Packet) { got = append(got, p.Payload[0]) })
+	for i := 0; i < 8; i++ {
+		if err := l.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.QueueLen() != 8 {
+		t.Fatalf("queued = %d before shrink, want 8", l.QueueLen())
+	}
+
+	cfg := l.Config()
+	cfg.QueueLimit = 3
+	l.UpdateConfig(cfg) // all 8 already committed to serialization
+
+	if l.QueueLen() != 3 {
+		t.Errorf("queued = %d after shrink, want 3", l.QueueLen())
+	}
+	if l.Stats.ShrinkDrops != 5 {
+		t.Errorf("shrink drops = %d, want 5", l.Stats.ShrinkDrops)
+	}
+	if l.Stats.QueueDrops != 0 {
+		t.Errorf("queue drops = %d, want 0 (shrink is a distinct cause)", l.Stats.QueueDrops)
+	}
+
+	s.Run()
+	// Oldest survive: the newest five were shed.
+	if string(got) != "\x00\x01\x02" {
+		t.Errorf("delivered = %v, want oldest three [0 1 2]", got)
+	}
+	if l.Stats.Delivered != 3 {
+		t.Errorf("delivered stat = %d, want 3", l.Stats.Delivered)
+	}
+
+	shrinks := 0
+	for _, e := range tr.Events() {
+		if e.Kind == tracing.NetDrop && e.Cause == "shrink" {
+			shrinks++
+		}
+	}
+	if shrinks != 5 {
+		t.Errorf("traced %d shrink drops, want 5", shrinks)
+	}
+}
+
+// TestUpdateConfigShrinkHeldPackets: packets parked by HoldOnDown are
+// freed outright by a shrink — before committed ones — and the
+// survivors still replay in order on link-up.
+func TestUpdateConfigShrinkHeldPackets(t *testing.T) {
+	s, _, _, b, l := pair(t, LinkConfig{RateBps: 1e6, QueueLimit: 10, OnDown: HoldOnDown}, 1)
+	var got []byte
+	b.SetHandler(func(p *Packet) { got = append(got, p.Payload[0]) })
+	l.SetDown(true)
+	for i := 0; i < 5; i++ {
+		l.Send([]byte{byte(i)})
+	}
+	if l.HeldLen() != 5 {
+		t.Fatalf("held = %d, want 5", l.HeldLen())
+	}
+
+	cfg := l.Config()
+	cfg.QueueLimit = 2
+	l.UpdateConfig(cfg)
+
+	if l.HeldLen() != 2 {
+		t.Errorf("held = %d after shrink, want 2", l.HeldLen())
+	}
+	if l.Stats.ShrinkDrops != 3 {
+		t.Errorf("shrink drops = %d, want 3", l.Stats.ShrinkDrops)
+	}
+
+	l.SetDown(false)
+	s.Run()
+	if string(got) != "\x00\x01" {
+		t.Errorf("delivered = %v, want oldest two [0 1]", got)
+	}
+}
+
+// TestUpdateConfigShrinkIdempotent: re-applying the same (or a looser)
+// limit over an already-shed backlog drops nothing more, and growing
+// the limit never resurrects shed packets.
+func TestUpdateConfigShrinkIdempotent(t *testing.T) {
+	s, _, _, b, l := pair(t, LinkConfig{RateBps: 1e6, QueueLimit: 10}, 1)
+	delivered := 0
+	b.SetHandler(func(p *Packet) { delivered++ })
+	for i := 0; i < 6; i++ {
+		l.Send(make([]byte, 100))
+	}
+	cfg := l.Config()
+	cfg.QueueLimit = 2
+	l.UpdateConfig(cfg)
+	if l.Stats.ShrinkDrops != 4 {
+		t.Fatalf("shrink drops = %d, want 4", l.Stats.ShrinkDrops)
+	}
+	l.UpdateConfig(cfg) // same limit again: nothing left to shed
+	if l.Stats.ShrinkDrops != 4 {
+		t.Errorf("re-shrink dropped more: %d, want 4", l.Stats.ShrinkDrops)
+	}
+	cfg.QueueLimit = 10
+	l.UpdateConfig(cfg) // growing back must not resurrect anything
+	s.Run()
+	if delivered != 2 {
+		t.Errorf("delivered = %d, want 2", delivered)
+	}
+	if l.QueueLen() != 0 {
+		t.Errorf("queue gauge = %d after drain, want 0", l.QueueLen())
+	}
+}
+
+// TestUpdateConfigShrinkUnlimited: dropping the limit to 0 (unlimited)
+// sheds nothing regardless of backlog.
+func TestUpdateConfigShrinkUnlimited(t *testing.T) {
+	s, _, _, b, l := pair(t, LinkConfig{RateBps: 1e6, QueueLimit: 4}, 1)
+	delivered := 0
+	b.SetHandler(func(p *Packet) { delivered++ })
+	for i := 0; i < 4; i++ {
+		l.Send(make([]byte, 100))
+	}
+	cfg := l.Config()
+	cfg.QueueLimit = 0
+	l.UpdateConfig(cfg)
+	if l.Stats.ShrinkDrops != 0 {
+		t.Errorf("shrink drops = %d, want 0", l.Stats.ShrinkDrops)
+	}
+	s.Run()
+	if delivered != 4 {
+		t.Errorf("delivered = %d, want 4", delivered)
 	}
 }

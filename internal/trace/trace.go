@@ -92,6 +92,14 @@ func describeALF(pkt []byte) string {
 			return fmt.Sprintf("alf hb: short (%d bytes)", len(pkt))
 		}
 		return fmt.Sprintf("alf HB stream=%d next=%d", pkt[1], binary.BigEndian.Uint64(pkt[2:10]))
+	case 4: // feedback report
+		if len(pkt) < 24 {
+			return fmt.Sprintf("alf fb: short (%d bytes)", len(pkt))
+		}
+		return fmt.Sprintf("alf FB stream=%d seq=%d wire=%d delivered=%d", pkt[1],
+			binary.BigEndian.Uint32(pkt[2:6]),
+			binary.BigEndian.Uint64(pkt[6:14]),
+			binary.BigEndian.Uint64(pkt[14:22]))
 	default:
 		// Hex, zero-padded: unknown type bytes are usually protocol
 		// collisions or corruption, and those read naturally in hex

@@ -31,6 +31,7 @@ const (
 	refALFData         // ALF DATA fragment: ID=stream, ADU=name, Off/Len=fragment
 	refALFCtrl         // ALF control: ID=stream
 	refALFHB           // ALF heartbeat: ID=stream, ADU=declared next name
+	refALFFB           // ALF feedback report: ID=stream, ADU=report seq
 	refOTPData         // OTP DATA segment: ID=conn, Off=seq, Len=payload
 	refOTPAck          // OTP pure ACK: ID=conn
 )
@@ -40,9 +41,11 @@ const (
 const (
 	alfHeaderSize    = 34
 	alfHeartbeatSize = 12
+	alfFeedbackSize  = 24
 	alfTypeData      = 1
 	alfTypeCtrl      = 2
 	alfTypeHB        = 3
+	alfTypeFB        = 4
 
 	otpHeaderSize = 16
 	otpFlagData   = 1 << 0
@@ -87,6 +90,14 @@ func sniffInto(e *Event, pkt []byte) refKind {
 			e.Proto = ProtoALFHB
 			return refALFHB
 		}
+	case alfTypeFB:
+		// No OTP collision possible: OTP flag values stop at 3.
+		if len(pkt) == alfFeedbackSize && checksum.Verify16(pkt) {
+			e.ID = pkt[1]
+			e.ADU = uint64(binary.BigEndian.Uint32(pkt[2:6]))
+			e.Proto = ProtoALFFB
+			return refALFFB
+		}
 	}
 	// Not a checksum-valid ALF packet; try OTP.
 	if len(pkt) >= otpHeaderSize && checksum.Verify16(pkt) {
@@ -114,6 +125,7 @@ const (
 	ProtoALFData = "alf-data"
 	ProtoALFCtrl = "alf-ctrl"
 	ProtoALFHB   = "alf-hb"
+	ProtoALFFB   = "alf-fb"
 	ProtoOTPData = "otp-data"
 	ProtoOTPAck  = "otp-ack"
 )

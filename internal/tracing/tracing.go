@@ -89,6 +89,13 @@ const (
 	// Fault-plane events (internal/faults). Cause carries the kind.
 	FaultBegin
 	FaultEnd
+
+	// Overload-control events (internal/core ratecontrol). Appended
+	// after the original block so existing recorded kind values never
+	// shift.
+	ADUShed    // Droppable ADU shed before transmission (sender overloaded)
+	FeedbackTX // receiver emitted a delivery report
+	RateChange // controller set a new pacing rate (Off = old bps, Len = new bps)
 )
 
 // String names the kind as it appears in timelines.
@@ -142,6 +149,12 @@ func (k Kind) String() string {
 		return "fault-begin"
 	case FaultEnd:
 		return "fault-end"
+	case ADUShed:
+		return "shed"
+	case FeedbackTX:
+		return "feedback"
+	case RateChange:
+		return "rate"
 	default:
 		return fmt.Sprintf("kind-%d", uint8(k))
 	}
@@ -412,6 +425,37 @@ func (t *Tracer) NacksSent(stream byte, names []uint64) {
 		t.record(Event{Kind: NackTX, Track: t.track("alf/rcv/", stream),
 			ID: stream, ADU: name, Flow: f})
 	}
+}
+
+// ADUShed records a Droppable ADU shed before transmission while the
+// sender was overloaded. name is the name the ADU would have been
+// assigned (it consumes none).
+func (t *Tracer) ADUShed(stream byte, name, tag uint64, size int) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Kind: ADUShed, Track: t.track("alf/snd/", stream),
+		ID: stream, ADU: name, Tag: tag, Len: size})
+}
+
+// FeedbackSent records the receiver emitting delivery report seq with
+// wireBytes cumulative wire volume accepted.
+func (t *Tracer) FeedbackSent(stream byte, seq uint32, wireBytes int64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Kind: FeedbackTX, Track: t.track("alf/rcv/", stream),
+		ID: stream, ADU: uint64(seq), Off: wireBytes})
+}
+
+// RateChanged records a controller-driven pacing change from oldBps to
+// newBps (Off and Len respectively, in bits/s).
+func (t *Tracer) RateChanged(stream byte, oldBps, newBps float64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Kind: RateChange, Track: t.track("alf/snd/", stream),
+		ID: stream, Off: int64(oldBps), Len: int(newBps)})
 }
 
 // ---- OTP endpoint hooks ------------------------------------------------
