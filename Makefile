@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-json fuzz soak alloc-guard check
+.PHONY: build test race vet lint bench bench-json bench-flows fuzz soak alloc-guard check
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,13 @@ test:
 
 # The packages with real concurrency: the metrics registry is meant to
 # be hit from multiple goroutines, parallel hosts the worker-pool
-# dispatch experiment, and buf's refcounts are atomic by contract.
+# dispatch experiment, buf's refcounts are atomic by contract, and the
+# sharded endpoint (core + sim.Group + the experiments flow-scale
+# sweep) drains per-shard schedulers from a worker pool — its
+# determinism and near-linear-scaling tests must hold under -race.
 race:
 	$(GO) test -race ./internal/metrics ./internal/core ./internal/otp ./internal/parallel ./internal/buf ./internal/netsim ./internal/sim
+	$(GO) test -race -run 'FlowScale' ./internal/experiments
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +34,15 @@ bench:
 BENCH_DATE := $(shell date +%Y-%m-%d)
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_$(BENCH_DATE).json
+
+# Archive the §7 flow-scaling curve (BenchmarkFlowScale at 1/2/4/8
+# workers; 64 Ki flows per point) as BENCH_0006.json. The headline
+# vMb/s figures are virtual-time throughput — deterministic for the
+# seed, so the file diffs clean across hosts. docs/SCALING.md explains
+# how to read it. `alfbench -flows N -workers W` runs the same
+# experiment at arbitrary scale (the acceptance run is -flows 1000000).
+bench-flows:
+	$(GO) test -run '^$$' -bench 'FlowScale' -benchtime 1x -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_0006.json
 
 # Native fuzzers over the ALF wire formats. The budget is deliberately
 # small so check stays fast; raise FUZZTIME for a real session.

@@ -502,6 +502,34 @@ func BenchmarkF9_FECRecovery(b *testing.B) {
 	}
 }
 
+// --- S1: sharded endpoint flow scaling (§7, docs/SCALING.md). ---
+// `make bench-flows` archives this family as BENCH_0006.json. The
+// headline unit is vMb/s — payload bits per *virtual* second summed
+// over all shard trunks — which is deterministic for the seed and
+// scales with the shard count on any host; ns/op and wall-clock
+// measure only what the simulation costs this machine.
+
+func BenchmarkFlowScale(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var pt experiments.FlowScalePoint
+			var err error
+			for i := 0; i < b.N; i++ {
+				pt, err = experiments.RunFlowScale(experiments.FlowScaleConfig{
+					Flows: 65536, Shards: w, Workers: w, Seed: 6,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(pt.AggMbps, "vMb/s")
+			b.ReportMetric(pt.ADUsPerVSec, "ADUs/vsec")
+			b.ReportMetric(float64(pt.MaxTrunkQueue), "max_trunk_queue")
+			b.ReportMetric(pt.EventsPerSec, "events/s")
+		})
+	}
+}
+
 func BenchmarkE6_LayeredStack(b *testing.B) {
 	rep, err := experiments.RunStack(xcode.BER{}, 64<<10, 4, 20*time.Millisecond)
 	if err != nil {

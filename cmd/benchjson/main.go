@@ -31,6 +31,9 @@ type Result struct {
 	BOp  int64   `json:"bytes_per_op"`       // -benchmem: allocated bytes per op
 	AOp  int64   `json:"allocs_per_op"`      // -benchmem: allocations per op
 	MBs  float64 `json:"mb_per_s,omitempty"` // throughput when b.SetBytes was used
+	// Extra holds custom units reported via b.ReportMetric (e.g. the
+	// flow-scaling benchmark's vMb/s and flows/vsec), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
 
 	hasMem bool
 }
@@ -73,6 +76,13 @@ func parseLine(line string) (Result, bool) {
 			r.hasMem = true
 		case "MB/s":
 			r.MBs = v
+		default:
+			// A custom b.ReportMetric unit; archive it verbatim so
+			// experiment-defined rates survive the JSON round trip.
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[fields[i+1]] = v
 		}
 	}
 	return r, ok

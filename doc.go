@@ -15,12 +15,32 @@
 // times, per-link drops, ADU latency distributions — is deterministic
 // for a given seed and renderable as one table.
 //
+// Two planes sit above the per-stream protocol machinery. The control
+// plane (§3) keeps control traffic out of the per-packet path:
+// internal/session negotiates syntax, keys, and stream parameters out
+// of band, and the closed feedback loop in internal/core — periodic
+// cumulative receiver reports, pluggable RateController (AIMD or
+// fixed), priority shedding before packetization, capped recovery
+// bandwidth — turns §3's rate-based transmission control into a
+// no-collapse guarantee under overload. The shard plane (§7) scales an
+// endpoint to very large flow populations: alf.Sharded hashes flows
+// over N shards, each owning a scheduler (sim.Group runs them in
+// parallel with epoch barriers), a buffer arena, a scoped metrics
+// view, and a trunk, with cross-shard effects confined to a
+// control-directive queue applied at barriers — so the worker count
+// never changes results, only wall-clock. docs/SCALING.md documents
+// that contract and the archived scaling curve (BENCH_0006.json).
+//
 // The root package holds the benchmark suite (bench_test.go), one
-// benchmark per table or figure in DESIGN.md. The library lives under
-// internal/; runnable demos live under examples/. Three commands ship
-// with it: cmd/alfbench regenerates the paper's tables and figures,
-// cmd/alfstat runs a measured ALF-vs-ordered-transport scenario and
-// prints the metric tree, and cmd/alftrace decodes a simulated run
-// packet by packet. docs/ARCHITECTURE.md maps every package to the
-// paper section it reproduces.
+// benchmark per table or figure in DESIGN.md, plus BenchmarkFlowScale,
+// the §7 flow-scaling curve. The library lives under internal/;
+// runnable demos live under examples/. Five commands ship with it:
+// cmd/alfbench regenerates the paper's tables and figures and drives
+// the sharded endpoint at scale (-flows), cmd/alfstat runs a measured
+// ALF-vs-ordered-transport scenario and prints the metric tree,
+// cmd/alfchaos runs fault and overload scenarios against soak
+// invariants, cmd/alftrace decodes a simulated run packet by packet,
+// and cmd/benchjson archives benchmark output as JSON.
+// docs/ARCHITECTURE.md maps every package to the paper section it
+// reproduces.
 package repro

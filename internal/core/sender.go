@@ -372,13 +372,14 @@ func (s *Sender) packetize(name uint64, data []byte, frags []wireFrag) ([]wireFr
 		parityOff int      // group start offset
 		inGroup   int      // data fragments accumulated
 	)
+	headroom := HeaderSize + len(s.cfg.Encap)
 	off := 0
 	for {
 		n := len(data) - off
 		if n > frag {
 			n = frag
 		}
-		ref := s.cfg.Pool.GetHeadroom(n, HeaderSize)
+		ref := s.cfg.Pool.GetHeadroom(n, headroom)
 		w := ref.Bytes()
 		if keyed {
 			sum += ilp.FusedEncryptCopySum(w, data[off:off+n], s.cfg.Key^name, off)
@@ -389,7 +390,7 @@ func (s *Sender) packetize(name uint64, data []byte, frags []wireFrag) ([]wireFr
 		if s.cfg.FECGroup > 0 {
 			if inGroup == 0 {
 				parityOff = off
-				parity = s.cfg.Pool.GetHeadroom(n, HeaderSize) // first (longest) fragment of the group
+				parity = s.cfg.Pool.GetHeadroom(n, headroom) // first (longest) fragment of the group
 				ilp.WordCopy(parity.Bytes(), w)
 			} else {
 				ilp.XORWords(parity.Bytes(), w)
@@ -434,6 +435,11 @@ func (s *Sender) stamp(name, tag uint64, syntax xcode.SyntaxID, totalLen int, ck
 		h.FragOff = f.off
 		h.FragLen = f.n
 		putHeader(f.ref.Prepend(HeaderSize), &h)
+		if len(s.cfg.Encap) > 0 {
+			// The outer demux prefix, stamped once into the reserved
+			// headroom; resends of retained fragments reuse it as-is.
+			copy(f.ref.Prepend(len(s.cfg.Encap)), s.cfg.Encap)
+		}
 	}
 }
 

@@ -1,0 +1,545 @@
+package alf
+
+// The sharded endpoint: the paper's §7 argument made executable. "If
+// the data is organized into ADUs, each ADU will contain enough
+// information to control its own delivery" — so a receiver (or a whole
+// transport node) can be split into parallel shards with no
+// serializing hot spot. This file provides that split for up to
+// millions of concurrent ALF flows:
+//
+//   - A flow table hashes every flow (ShardOf) onto one of N shards.
+//   - Each shard owns a private event scheduler (one shard of a
+//     sim.Group), a private buf.Pool arena, a private netsim.Network
+//     with its own trunk links and seeded RNG, and a scoped metrics
+//     view. Nothing on a shard's datapath is shared, so shards run on
+//     parallel goroutines with no locks and no false sharing.
+//   - Cross-shard traffic is limited to the control plane: directives
+//     (Control, SetRateAll) and completion detection cross shards only
+//     at epoch barriers, where every shard is idle and clocks agree.
+//
+// The execution model separates two knobs deliberately. Shards is
+// topology: it fixes the flow hash, the per-shard RNG seeds, and the
+// trunk capacity layout, so it is part of the experiment's identity.
+// Workers is execution: how many OS goroutines drain those shards
+// concurrently. Changing Workers must never change any virtual-time
+// result — the determinism tests hold exactly that.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/buf"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/xcode"
+)
+
+// FlowID names one flow of a sharded endpoint. The id is carried on
+// the wire as an 8-byte encapsulation prefix (Config.Encap) in front
+// of every ALF packet, so the destination shard can route a packet to
+// its flow without parsing ALF headers — the ADU's own naming
+// information is the dispatch key (§7).
+type FlowID uint64
+
+// flowIDSize is the wire size of the FlowID encapsulation prefix.
+const flowIDSize = 8
+
+// ShardOf maps a flow to its owning shard: a Fibonacci hash of the id
+// folded onto [0, shards). Flows with adjacent ids land on different
+// shards, so a contiguous id range load-balances evenly.
+func ShardOf(id FlowID, shards int) int {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return int((h >> 32) * uint64(shards) >> 32)
+}
+
+// Delivery is one delivered ADU in a shard's delivery log.
+type Delivery struct {
+	At    sim.Time // virtual delivery time
+	Flow  FlowID
+	Name  uint64
+	Bytes int
+}
+
+// ShardedConfig parameterizes a sharded endpoint.
+type ShardedConfig struct {
+	// Shards is the number of logical shards (default 1). Shards is
+	// part of the topology: it determines the flow hash, per-shard RNG
+	// seeds, and how many trunk links carry the load. Two runs with
+	// different Shards are different experiments.
+	Shards int
+	// Workers bounds the goroutines draining shards in parallel
+	// (default Shards). Purely an execution knob: results are
+	// identical for any value.
+	Workers int
+	// Seed derives every shard's netsim RNG (seed ^ shard-specific
+	// mix), so one value pins the whole run.
+	Seed int64
+	// Flow is the per-flow Config template. StreamID, Pool, Encap, and
+	// Metrics are overwritten per flow/shard; everything else (Policy,
+	// MTU, rates, FEC, ...) applies to each flow as written. Tracer
+	// must be nil when Workers > 1 (the span recorder is not
+	// shard-safe).
+	Flow Config
+	// Link configures each shard's duplex trunk (client<->server).
+	// RateBps is per-shard capacity: N shards carry N times this
+	// aggregate, which is exactly the scaling claim BENCH_0006
+	// measures.
+	Link netsim.LinkConfig
+	// CtrlEpoch is the barrier period of the control plane (default
+	// 20 ms of virtual time): how often cross-shard directives apply
+	// and completion is checked. It is the parallel-simulation
+	// lookahead — shards never interact inside an epoch.
+	CtrlEpoch sim.Duration
+	// LogDeliveries records every delivered ADU in a per-shard log
+	// (see Deliveries). Off for the million-flow benchmarks, on for
+	// the determinism tests.
+	LogDeliveries bool
+	// Metrics, if non-nil, binds per-shard series — trunk link
+	// counters and pool-arena counters, labeled shard=<i> via
+	// Registry.Scope. Per-flow endpoint series are deliberately not
+	// bound (a million flows must not mean a million series); flow
+	// stats are aggregated by Stats instead. Sample snapshots only
+	// while the group is idle (between Run calls or at a barrier).
+	Metrics *metrics.Registry
+}
+
+func (c *ShardedConfig) fill() {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Workers == 0 {
+		c.Workers = c.Shards
+	}
+	if c.CtrlEpoch == 0 {
+		c.CtrlEpoch = 20 * time.Millisecond
+	}
+}
+
+// Flow is one ALF stream of a sharded endpoint: a Sender on the
+// shard's client node and a Receiver on its server node, wired through
+// the shard's trunk. Both halves run on the owning shard's scheduler;
+// touch them only from that shard's callbacks or while the group is
+// idle.
+type Flow struct {
+	ID       FlowID
+	Sender   *Sender
+	Receiver *Receiver
+
+	shard *Shard
+	encap [flowIDSize]byte
+}
+
+// Shard returns the flow's owning shard (for scheduling follow-on
+// work on the right scheduler).
+func (f *Flow) Shard() *Shard { return f.shard }
+
+// ScheduleSend schedules one ADU submission on the flow's shard at
+// virtual time at. data is captured by reference and read (copied into
+// pooled wire buffers) when the event fires, so callers may share one
+// payload across many flows but must not mutate it mid-run.
+func (f *Flow) ScheduleSend(at sim.Time, tag uint64, syntax xcode.SyntaxID, data []byte) {
+	f.shard.sched.At(at, func() { _, _ = f.Sender.Send(tag, syntax, data) })
+}
+
+// sendUp frames a control-plane []byte (heartbeats) with the flow id
+// and sends it client->server on the shard trunk, via a pooled copy so
+// the path stays allocation-free in steady state.
+func (f *Flow) sendUp(p []byte) error { return f.frame(f.shard.up, p) }
+
+// sendDown frames a control-plane []byte (CTRL releases/NACKs, FB
+// reports) with the flow id and sends it server->client.
+func (f *Flow) sendDown(p []byte) error { return f.frame(f.shard.down, p) }
+
+func (f *Flow) frame(l *netsim.Link, p []byte) error {
+	ref := f.shard.pool.GetHeadroom(len(p), flowIDSize)
+	copy(ref.Bytes(), p)
+	copy(ref.Prepend(flowIDSize), f.encap[:])
+	return l.SendRef(ref)
+}
+
+// sendRef is the zero-copy data path: the fragment already carries the
+// flow id (stamped into its Encap headroom), so it goes straight onto
+// the trunk, ownership transferring to the link.
+func (f *Flow) sendRef(ref *buf.Ref) error { return f.shard.up.SendRef(ref) }
+
+// onADU is the default delivery handler: log (when configured) and
+// recycle. Replace f.Receiver.OnADU before Run for custom handling;
+// the replacement runs on the shard's worker goroutine.
+func (f *Flow) onADU(adu ADU) {
+	sh := f.shard
+	sh.last = sh.sched.Now()
+	if sh.logOn {
+		sh.log = append(sh.log, Delivery{At: sh.last, Flow: f.ID, Name: adu.Name, Bytes: len(adu.Data)})
+	}
+	adu.Release()
+}
+
+// Shard is one parallel slice of a sharded endpoint. Everything it
+// reaches — scheduler, pool arena, network, flows — is private to it
+// between barriers.
+type Shard struct {
+	index int
+	sched *sim.Scheduler
+	pool  *buf.Pool
+	net   *netsim.Network
+	// client hosts the senders, server the receivers; up/down are the
+	// two directions of the shard's trunk.
+	client, server *netsim.Node
+	up, down       *netsim.Link
+
+	flows map[FlowID]*Flow
+	order []FlowID // insertion-ordered; sorted before deterministic sweeps
+	dirty bool     // order needs re-sorting
+
+	logOn bool
+	log   []Delivery
+	last  sim.Time // most recent delivery (default OnADU handler)
+}
+
+// Index returns the shard's position in the group.
+func (sh *Shard) Index() int { return sh.index }
+
+// Scheduler returns the shard's private event scheduler.
+func (sh *Shard) Scheduler() *sim.Scheduler { return sh.sched }
+
+// Pool returns the shard's private buffer arena.
+func (sh *Shard) Pool() *buf.Pool { return sh.pool }
+
+// Trunk returns the shard's client->server link (the data direction).
+func (sh *Shard) Trunk() *netsim.Link { return sh.up }
+
+// Flows returns the number of flows on this shard.
+func (sh *Shard) Flows() int { return len(sh.flows) }
+
+// sorted returns the shard's flow ids in ascending order. Every sweep
+// that touches all flows iterates this slice, never the map: map order
+// would leak goroutine-invisible nondeterminism into directive
+// application order exactly the way the PR-2 receiver-scan bug did.
+func (sh *Shard) sorted() []FlowID {
+	if sh.dirty {
+		ids := sh.order
+		for i := 1; i < len(ids); i++ {
+			for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+				ids[j], ids[j-1] = ids[j-1], ids[j]
+			}
+		}
+		sh.dirty = false
+	}
+	return sh.order
+}
+
+// demuxData routes an arriving trunk packet (DATA, HB) to its flow's
+// receiver by the 8-byte flow-id prefix.
+func (sh *Shard) demuxData(p *netsim.Packet) {
+	if len(p.Payload) < flowIDSize {
+		return
+	}
+	id := FlowID(binary.BigEndian.Uint64(p.Payload[:flowIDSize]))
+	if f := sh.flows[id]; f != nil {
+		_ = f.Receiver.HandlePacket(p.Payload[flowIDSize:])
+	}
+}
+
+// demuxCtrl routes a returning trunk packet (CTRL, FB) to its flow's
+// sender.
+func (sh *Shard) demuxCtrl(p *netsim.Packet) {
+	if len(p.Payload) < flowIDSize {
+		return
+	}
+	id := FlowID(binary.BigEndian.Uint64(p.Payload[:flowIDSize]))
+	if f := sh.flows[id]; f != nil {
+		_ = f.Sender.HandleControl(p.Payload[flowIDSize:])
+	}
+}
+
+// Sharded is a transport endpoint sharded over N parallel workers: the
+// flow table, the shard array, and the barrier-synchronized control
+// plane. Construct with NewSharded, add flows, schedule traffic, Run.
+type Sharded struct {
+	cfg    ShardedConfig
+	group  *sim.Group
+	shards []*Shard
+	flows  int
+
+	// directives queued by Control/SetRateAll, applied at the next
+	// epoch barrier in (shard, ascending flow id) order.
+	directives []func(*Flow)
+}
+
+// NewSharded builds the shard array: per shard one scheduler, one pool
+// arena, one seeded network with a duplex trunk, and the demux
+// handlers. The flow table starts empty.
+func NewSharded(cfg ShardedConfig) (*Sharded, error) {
+	if cfg.Shards < 0 || cfg.Workers < 0 {
+		return nil, fmt.Errorf("%w: negative Shards/Workers", ErrConfig)
+	}
+	if err := cfg.Flow.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Flow.Tracer != nil && (cfg.Workers > 1 || cfg.Workers == 0 && cfg.Shards > 1) {
+		return nil, fmt.Errorf("%w: Flow.Tracer is not shard-safe with Workers > 1", ErrConfig)
+	}
+	cfg.fill()
+	t := &Sharded{cfg: cfg, group: sim.NewGroup(cfg.Shards)}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &Shard{
+			index: i,
+			sched: t.group.Shard(i),
+			pool:  buf.NewPool(),
+			flows: make(map[FlowID]*Flow),
+			logOn: cfg.LogDeliveries,
+		}
+		// Mix the shard index into the seed so shards draw independent
+		// impairment sequences from one experiment seed.
+		sh.net = netsim.New(sh.sched, cfg.Seed^int64(uint64(i+1)*0x9E3779B97F4A7C15))
+		sh.net.SetPool(sh.pool)
+		scope := cfg.Metrics.Scope(fmt.Sprintf("shard=%d", i))
+		sh.net.SetMetrics(scope)
+		sh.pool.BindMetrics(scope)
+		sh.client = sh.net.NewNode("client")
+		sh.server = sh.net.NewNode("server")
+		sh.up, sh.down = sh.net.NewDuplex(sh.client, sh.server, cfg.Link)
+		sh.client.SetHandler(sh.demuxCtrl)
+		sh.server.SetHandler(sh.demuxData)
+		t.shards = append(t.shards, sh)
+	}
+	return t, nil
+}
+
+// Shards returns the number of shards.
+func (t *Sharded) Shards() int { return len(t.shards) }
+
+// Workers returns the configured parallelism.
+func (t *Sharded) Workers() int { return t.cfg.Workers }
+
+// Flows returns the total number of flows.
+func (t *Sharded) Flows() int { return t.flows }
+
+// Shard returns shard i.
+func (t *Sharded) Shard(i int) *Shard { return t.shards[i] }
+
+// Now returns the endpoint's virtual time (the barrier time after Run).
+func (t *Sharded) Now() sim.Time { return t.group.Now() }
+
+// LastDelivery returns the virtual time of the latest ADU delivery
+// across all shards — the workload makespan, free of the post-drain
+// epochs Run spends sweeping parked timers. Only maintained by the
+// default per-flow OnADU handler.
+func (t *Sharded) LastDelivery() sim.Time {
+	var max sim.Time
+	for _, sh := range t.shards {
+		if sh.last > max {
+			max = sh.last
+		}
+	}
+	return max
+}
+
+// Fired returns the total events executed across all shard schedulers.
+func (t *Sharded) Fired() uint64 { return t.group.Fired() }
+
+// AddFlow creates flow id on its hash-assigned shard and returns it.
+// Call only while the group is idle (before Run or between runs).
+func (t *Sharded) AddFlow(id FlowID) (*Flow, error) {
+	sh := t.shards[ShardOf(id, len(t.shards))]
+	if _, dup := sh.flows[id]; dup {
+		return nil, fmt.Errorf("%w: duplicate flow id %d", ErrConfig, id)
+	}
+	f := &Flow{ID: id, shard: sh}
+	binary.BigEndian.PutUint64(f.encap[:], uint64(id))
+
+	cfg := t.cfg.Flow
+	cfg.StreamID = byte(id) // secondary check; the encap prefix routes
+	cfg.Pool = sh.pool
+	cfg.Metrics = nil // per-flow series would not scale; see ShardedConfig.Metrics
+	cfg.Encap = f.encap[:]
+
+	snd, err := NewSender(sh.sched, f.sendUp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	snd.SendRef = f.sendRef
+	rcv, err := NewReceiver(sh.sched, f.sendDown, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rcv.OnADU = f.onADU
+	f.Sender, f.Receiver = snd, rcv
+
+	sh.flows[id] = f
+	sh.order = append(sh.order, id)
+	sh.dirty = true
+	t.flows++
+	return f, nil
+}
+
+// Flow returns the flow with the given id, or nil.
+func (t *Sharded) Flow(id FlowID) *Flow {
+	return t.shards[ShardOf(id, len(t.shards))].flows[id]
+}
+
+// Control queues a directive for every flow, applied single-threaded
+// at the next epoch barrier in (shard, ascending flow id) order — the
+// only cross-shard channel. Safe to call between runs or from a
+// previous directive; never call it from shard callbacks.
+func (t *Sharded) Control(fn func(*Flow)) {
+	t.directives = append(t.directives, fn)
+}
+
+// SetRateAll re-paces every flow's sender at the next barrier (§3
+// out-of-band rate control, fleet-wide).
+func (t *Sharded) SetRateAll(bps float64) {
+	t.Control(func(f *Flow) { f.Sender.SetRate(bps) })
+}
+
+// exchange is the barrier callback: apply queued directives while all
+// shards are idle and aligned. Returns whether new work may exist.
+func (t *Sharded) exchange(sim.Time) bool {
+	if len(t.directives) == 0 {
+		return false
+	}
+	ds := t.directives
+	t.directives = nil
+	for _, sh := range t.shards {
+		for _, id := range sh.sorted() {
+			f := sh.flows[id]
+			for _, d := range ds {
+				d(f)
+			}
+		}
+	}
+	return true
+}
+
+// Run drains the endpoint to quiescence: epochs of CtrlEpoch virtual
+// time executed by up to Workers goroutines, directives applied at
+// each barrier, ending when every shard's queue is empty and no
+// directives remain. Senders' heartbeat/retire timers park themselves
+// once their streams settle, so a healthy run terminates on its own.
+func (t *Sharded) Run() error {
+	return t.group.RunEpochs(t.cfg.CtrlEpoch, t.cfg.Workers, t.exchange)
+}
+
+// RunUntil advances every shard to exactly deadline (no barriers, no
+// directive application) — the building block for tests that step
+// virtual time by hand.
+func (t *Sharded) RunUntil(deadline sim.Time) error {
+	return t.group.RunUntil(deadline, t.cfg.Workers)
+}
+
+// Deliveries merges the per-shard delivery logs (LogDeliveries) into
+// one sequence ordered by (time, shard, intra-shard order). The merge
+// is deterministic: two runs that agree per shard agree globally.
+func (t *Sharded) Deliveries() []Delivery {
+	total := 0
+	for _, sh := range t.shards {
+		total += len(sh.log)
+	}
+	out := make([]Delivery, 0, total)
+	idx := make([]int, len(t.shards))
+	for len(out) < total {
+		best := -1
+		for i, sh := range t.shards {
+			if idx[i] >= len(sh.log) {
+				continue
+			}
+			if best < 0 || sh.log[idx[i]].At < t.shards[best].log[idx[best]].At {
+				best = i
+			}
+		}
+		out = append(out, t.shards[best].log[idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// ShardedStats aggregates every flow's endpoint counters and every
+// trunk's link counters. Field-by-field sums of the per-flow structs;
+// computed on demand, so call it while the group is idle.
+type ShardedStats struct {
+	Flows int
+	Send  SenderStats
+	Recv  ReceiverStats
+	Trunk netsim.LinkStats // both directions of every shard trunk
+}
+
+// Stats sweeps shards and flows in deterministic order and returns the
+// aggregate.
+func (t *Sharded) Stats() ShardedStats {
+	var out ShardedStats
+	out.Flows = t.flows
+	for _, sh := range t.shards {
+		for _, id := range sh.sorted() {
+			f := sh.flows[id]
+			addSenderStats(&out.Send, &f.Sender.Stats)
+			addReceiverStats(&out.Recv, &f.Receiver.Stats)
+		}
+		addLinkStats(&out.Trunk, &sh.up.Stats)
+		addLinkStats(&out.Trunk, &sh.down.Stats)
+	}
+	return out
+}
+
+func addSenderStats(dst, src *SenderStats) {
+	dst.ADUs += src.ADUs
+	dst.Fragments += src.Fragments
+	dst.Bytes += src.Bytes
+	dst.ResentADUs += src.ResentADUs
+	dst.RecomputeADUs += src.RecomputeADUs
+	dst.ResentFrags += src.ResentFrags
+	dst.UnfilledNacks += src.UnfilledNacks
+	dst.Released += src.Released
+	dst.DeadlineDrops += src.DeadlineDrops
+	dst.CtrlReceived += src.CtrlReceived
+	dst.CtrlDropped += src.CtrlDropped
+	dst.Heartbeats += src.Heartbeats
+	dst.ParityFrags += src.ParityFrags
+	dst.ShedADUs += src.ShedADUs
+	dst.FeedbackRecv += src.FeedbackRecv
+	dst.RateChanges += src.RateChanges
+	dst.RetxSuppressed += src.RetxSuppressed
+	dst.WireBytes += src.WireBytes
+}
+
+func addReceiverStats(dst, src *ReceiverStats) {
+	dst.Fragments += src.Fragments
+	dst.FragmentBytes += src.FragmentBytes
+	dst.HeaderDrops += src.HeaderDrops
+	dst.DupFragments += src.DupFragments
+	dst.LateFragments += src.LateFragments
+	dst.Inconsistent += src.Inconsistent
+	dst.TooLarge += src.TooLarge
+	dst.ADUsDelivered += src.ADUsDelivered
+	dst.ADUsLost += src.ADUsLost
+	dst.OutOfOrder += src.OutOfOrder
+	dst.ChecksumFails += src.ChecksumFails
+	dst.NacksSent += src.NacksSent
+	dst.CtrlSent += src.CtrlSent
+	dst.Heartbeats += src.Heartbeats
+	dst.ParityFrags += src.ParityFrags
+	dst.FECRecovered += src.FECRecovered
+	dst.FeedbackSent += src.FeedbackSent
+	dst.WireBytes += src.WireBytes
+	dst.DeliveredBytes += src.DeliveredBytes
+}
+
+func addLinkStats(dst, src *netsim.LinkStats) {
+	dst.Sent += src.Sent
+	dst.SentBytes += src.SentBytes
+	dst.Delivered += src.Delivered
+	dst.DeliveredBytes += src.DeliveredBytes
+	dst.QueueDrops += src.QueueDrops
+	dst.ShrinkDrops += src.ShrinkDrops
+	dst.LineLosses += src.LineLosses
+	dst.DownDrops += src.DownDrops
+	dst.HeldPackets += src.HeldPackets
+	dst.Dups += src.Dups
+	dst.Reordered += src.Reordered
+	dst.Corrupted += src.Corrupted
+	dst.Rejected += src.Rejected
+	if src.MaxQueue > dst.MaxQueue {
+		dst.MaxQueue = src.MaxQueue // high-water mark aggregates by max, not sum
+	}
+}

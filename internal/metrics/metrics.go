@@ -140,11 +140,55 @@ type series struct {
 type Registry struct {
 	mu     sync.Mutex
 	series map[string]*series
+
+	// Scoped views (Scope): root points at the registry that owns mu
+	// and series; scope is appended to every registration's labels.
+	root  *Registry
+	scope []string
 }
 
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{series: make(map[string]*series)}
+}
+
+// base returns the registry that owns the series map: r itself, or the
+// root when r is a scoped view.
+func (r *Registry) base() *Registry {
+	if r.root != nil {
+		return r.root
+	}
+	return r
+}
+
+// Scope returns a view of the registry that appends the given
+// "key=value" labels to every series registered through it. The view
+// shares the root's series map — Snapshot on any view sees the whole
+// tree — so N components wired with Scope("shard=0"), Scope("shard=1"),
+// ... register N distinct series per name instead of colliding on one.
+// Scoping a scoped view accumulates labels. Returns nil on a nil
+// registry, preserving the nil-is-disabled contract downstream.
+func (r *Registry) Scope(labels ...string) *Registry {
+	if r == nil || len(labels) == 0 {
+		return r
+	}
+	scope := make([]string, 0, len(r.scope)+len(labels))
+	scope = append(scope, r.scope...)
+	scope = append(scope, labels...)
+	return &Registry{root: r.base(), scope: scope}
+}
+
+// scoped returns labels extended with the view's scope labels (labels
+// itself when unscoped; never aliases the caller's backing array
+// otherwise).
+func (r *Registry) scoped(labels []string) []string {
+	if len(r.scope) == 0 {
+		return labels
+	}
+	out := make([]string, 0, len(labels)+len(r.scope))
+	out = append(out, labels...)
+	out = append(out, r.scope...)
+	return out
 }
 
 // key builds the identity of a series: name plus sorted labels. It
@@ -161,14 +205,15 @@ func key(name string, labels []string) (string, []string) {
 // register finds or creates the series for (name, labels). make is
 // called (under the lock) only when the series does not exist.
 func (r *Registry) register(name string, labels []string, make func(ls []string) *series) *series {
-	k, ls := key(name, labels)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if s, ok := r.series[k]; ok {
+	k, ls := key(name, r.scoped(labels))
+	b := r.base()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s, ok := b.series[k]; ok {
 		return s
 	}
 	s := make(ls)
-	r.series[k] = s
+	b.series[k] = s
 	return s
 }
 
@@ -233,8 +278,9 @@ func (r *Registry) registerFunc(name string, kind Kind, fn func() int64, labels 
 	if r == nil || fn == nil {
 		return
 	}
-	k, ls := key(name, labels)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.series[k] = &series{name: name, labels: ls, kind: kind, fn: fn}
+	k, ls := key(name, r.scoped(labels))
+	b := r.base()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.series[k] = &series{name: name, labels: ls, kind: kind, fn: fn}
 }

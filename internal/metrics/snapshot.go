@@ -40,12 +40,13 @@ func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
 		return snap
 	}
-	r.mu.Lock()
-	entries := make([]*series, 0, len(r.series))
-	for _, s := range r.series {
+	b := r.base()
+	b.mu.Lock()
+	entries := make([]*series, 0, len(b.series))
+	for _, s := range b.series {
 		entries = append(entries, s)
 	}
-	r.mu.Unlock()
+	b.mu.Unlock()
 
 	for _, s := range entries {
 		m := Metric{Name: s.name, Labels: s.labels, Kind: s.kind}

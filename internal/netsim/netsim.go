@@ -291,6 +291,7 @@ type LinkStats struct {
 	Reordered      int64
 	Corrupted      int64
 	Rejected       int64 // oversize sends
+	MaxQueue       int64 // high-water queue depth (packets awaiting serialization)
 }
 
 // Link is a unidirectional point-to-point pipe.
@@ -351,6 +352,7 @@ func (l *Link) bindMetrics(r *metrics.Registry, idx int) {
 		r.CounterFunc(e.name, e.fn, lb)
 	}
 	r.GaugeFunc("netsim.link.queue_depth", func() int64 { return int64(l.queued) }, lb)
+	r.GaugeFunc("netsim.link.queue_max", func() int64 { return l.Stats.MaxQueue }, lb)
 	r.GaugeFunc("netsim.link.held_depth", func() int64 { return int64(len(l.held)) }, lb)
 	r.GaugeFunc("netsim.link.down", func() int64 {
 		if l.down {
@@ -568,6 +570,11 @@ func (l *Link) dequeue(pkt *Packet) {
 // transmitted every byte ahead of it.
 func (l *Link) enqueue(pkt *Packet) {
 	l.queued++
+	if int64(l.queued) > l.Stats.MaxQueue {
+		// High-water mark: the scaling experiments report it per shard
+		// trunk to show backlog stays bounded as flow counts grow.
+		l.Stats.MaxQueue = int64(l.queued)
+	}
 	now := l.net.Sched.Now()
 	start := l.busyUntil
 	if start < now {

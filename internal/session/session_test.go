@@ -3,6 +3,7 @@ package session
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -78,7 +79,7 @@ func TestHandshakeCleanLink(t *testing.T) {
 	}
 	// Both ends derive identical ALF configs.
 	ic, rc := r.initRes.Config(), r.respRes.Config()
-	if ic != rc {
+	if !reflect.DeepEqual(ic, rc) {
 		t.Errorf("configs differ: %+v vs %+v", ic, rc)
 	}
 	if ic.StreamID != 3 || ic.MTU != 2048 || ic.Policy != alf.AppRecompute ||

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestGroupRunIndependent: shards drain independently and in their own
+// timestamp order, regardless of worker count.
+func TestGroupRunIndependent(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		g := NewGroup(4)
+		var fired [4][]Time
+		for i := 0; i < g.Len(); i++ {
+			i := i
+			s := g.Shard(i)
+			for k := 10; k > 0; k-- {
+				at := Time(k * 100)
+				s.At(at, func() { fired[i] = append(fired[i], s.Now()) })
+			}
+		}
+		if err := g.Run(workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, log := range fired {
+			if len(log) != 10 {
+				t.Fatalf("workers=%d shard %d fired %d events", workers, i, len(log))
+			}
+			for k := 1; k < len(log); k++ {
+				if log[k] < log[k-1] {
+					t.Fatalf("workers=%d shard %d out of order: %v", workers, i, log)
+				}
+			}
+		}
+		if g.Pending() != 0 {
+			t.Fatalf("workers=%d: %d events left", workers, g.Pending())
+		}
+	}
+}
+
+// TestGroupRunUntilAligns: after RunUntil every shard clock sits at the
+// deadline even when its own events stopped earlier.
+func TestGroupRunUntilAligns(t *testing.T) {
+	g := NewGroup(3)
+	g.Shard(0).At(50, func() {})
+	g.Shard(1).At(500, func() {})
+	if err := g.RunUntil(200, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.Len(); i++ {
+		if now := g.Shard(i).Now(); now != 200 {
+			t.Fatalf("shard %d clock %v, want 200", i, now)
+		}
+	}
+	if g.Pending() != 1 {
+		t.Fatalf("pending %d, want 1 (shard 1's late event)", g.Pending())
+	}
+	if g.Now() != 200 {
+		t.Fatalf("group now %v, want 200", g.Now())
+	}
+}
+
+// TestGroupRunEpochsExchange: a ping-pong relayed through the exchange
+// callback terminates, sees aligned clocks at each barrier, and visits
+// the shards alternately. The exchange is the only cross-shard channel.
+func TestGroupRunEpochsExchange(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		g := NewGroup(2)
+		const hops = 5
+		var relay []int // shard index pending an injected event, drained by exchange
+		var visits []int
+		hop := 0
+		g.Shard(0).At(10, func() { visits = append(visits, 0); relay = append(relay, 1) })
+		err := g.RunEpochs(100, workers, func(now Time) bool {
+			for i := 0; i < g.Len(); i++ {
+				if got := g.Shard(i).Now(); got != now {
+					t.Fatalf("barrier at %v: shard %d clock %v", now, i, got)
+				}
+			}
+			if len(relay) == 0 {
+				return false
+			}
+			next := relay[0]
+			relay = relay[:0]
+			hop++
+			if hop >= hops {
+				return false
+			}
+			g.Shard(next).At(now.Add(10), func() {
+				visits = append(visits, next)
+				relay = append(relay, 1-next)
+			})
+			return true
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := []int{0, 1, 0, 1, 0}
+		if len(visits) != len(want) {
+			t.Fatalf("workers=%d: visits %v, want %v", workers, visits, want)
+		}
+		for i := range want {
+			if visits[i] != want[i] {
+				t.Fatalf("workers=%d: visits %v, want %v", workers, visits, want)
+			}
+		}
+	}
+}
+
+// TestGroupDeterministicAcrossWorkers: a mesh of shards that trade work
+// at every barrier produces a bit-identical trace for any worker count.
+func TestGroupDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) ([]int64, uint64) {
+		g := NewGroup(8)
+		sums := make([]int64, g.Len())
+		// Seed each shard with staggered self-rescheduling counters.
+		for i := 0; i < g.Len(); i++ {
+			i := i
+			s := g.Shard(i)
+			var tick func()
+			n := 0
+			tick = func() {
+				n++
+				sums[i] += int64(n) * int64(i+1)
+				if n < 20 {
+					s.After(Duration(7+i), tick)
+				}
+			}
+			s.At(Time(i), tick)
+		}
+		rounds := 0
+		err := g.RunEpochs(50, workers, func(now Time) bool {
+			rounds++
+			if rounds < 4 {
+				// Cross-shard injection: shard i seeds shard (i+1)%N.
+				for i := 0; i < g.Len(); i++ {
+					j := (i + 1) % g.Len()
+					v := sums[i]
+					g.Shard(j).At(now.Add(1), func() { sums[j] += v % 97 })
+				}
+				return true
+			}
+			return false
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sums, g.Fired()
+	}
+	base, baseFired := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		got, fired := run(workers)
+		if fired != baseFired {
+			t.Fatalf("workers=%d fired %d, want %d", workers, fired, baseFired)
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d shard %d sum %d, want %d", workers, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestGroupParallelReally: with enough workers the shard callbacks can
+// observe concurrent execution (two shards inside callbacks at once).
+// This is best-effort — on a single-CPU host the goroutines may still
+// serialize — so the test asserts only that nothing deadlocks or races
+// and the work completes. Run under -race for the real check.
+func TestGroupParallelReally(t *testing.T) {
+	g := NewGroup(8)
+	var inFlight, peak atomic.Int32
+	for i := 0; i < g.Len(); i++ {
+		s := g.Shard(i)
+		for k := 0; k < 100; k++ {
+			s.At(Time(k), func() {
+				cur := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				inFlight.Add(-1)
+			})
+		}
+	}
+	if err := g.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	if g.Fired() != 800 {
+		t.Fatalf("fired %d, want 800", g.Fired())
+	}
+	t.Logf("peak concurrent shard callbacks: %d", peak.Load())
+}
