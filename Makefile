@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-json bench-flows fuzz soak alloc-guard check
+.PHONY: build test race vet lint bench bench-json bench-flows bench-dtn fuzz soak soak-dtn alloc-guard check
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,7 @@ FUZZTIME ?= 5s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzHandlePacket$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzHandleControl$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzHandleCustody$$' -fuzztime $(FUZZTIME) ./internal/core
 
 # One seeded chaos pass: every scenario x policy plus the blackout
 # shed/report assertions, and the overload family (closed-loop passes,
@@ -58,6 +59,18 @@ fuzz:
 # for the checked-in seeds.
 soak:
 	$(GO) test -run 'TestScenarioMatrix|TestBlackoutShedsAndReports|TestDeterminism|TestOverloadClosedLoopNoCollapse|TestOverloadFixedRateCollapses|TestOverloadDeterminism' -v ./internal/faults/soak
+
+# The DTN family: hours of virtual blackout on an 8-minute-one-way
+# path, custody relays + the model-based rate controller versus the
+# end-to-end baseline. Virtual-clock, deterministic, seed-swept — the
+# whole multi-hour soak runs in about a second of wall time.
+soak-dtn:
+	$(GO) test -count=1 -run 'TestDTN' -v ./internal/faults/soak
+
+# Archive the DTN contrast (custody vs end-to-end over three seeds) as
+# BENCH_0007.json in the repo root.
+bench-dtn:
+	$(GO) run ./cmd/alfchaos -dtn -all -json BENCH_0007.json
 
 # Static analysis beyond vet. staticcheck is not vendored; the target
 # no-ops with a notice where the binary is absent (CI installs it).
@@ -76,4 +89,4 @@ alloc-guard:
 	$(GO) test -count=1 -run 'ZeroAlloc' -v ./internal/core
 	$(GO) test -run '^$$' -bench 'SendSteadyState|ReceivePath|FECSender|FECRepair|NetsimForward' -benchmem ./internal/core ./internal/netsim
 
-check: build vet test race fuzz soak alloc-guard
+check: build vet test race fuzz soak soak-dtn alloc-guard

@@ -23,18 +23,27 @@
 //	                                         # closed-loop, no-collapse invariants
 //	alfchaos -overload -mode fixed           # the open-loop baseline (collapses)
 //	alfchaos -overload -all                  # every shape x both stances
+//	alfchaos -dtn                            # interplanetary path: 8-min one-way
+//	                                         # delay, two 40-min blackouts, custody
+//	                                         # relays + model-based rate control
+//	alfchaos -dtn -mode aimd                 # the end-to-end baseline (collapses)
+//	alfchaos -dtn -all -json BENCH.json      # both stances x seed sweep, archived
 //
 // Scenarios: flap, blackout, degrade, partition, random.
 // Overload shapes: steady, burst, flash.
+// DTN modes: custody, aimd.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	alf "repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/faults/soak"
 	"repro/internal/metrics"
@@ -56,16 +65,33 @@ var (
 
 	flagOverload = flag.Bool("overload", false, "run the congestion overload family instead of a fault scenario")
 	flagShape    = flag.String("shape", "steady", "overload arrival pattern: steady, burst, flash")
-	flagMode     = flag.String("mode", "closed", "overload sender stance: closed (feedback+AIMD+shedding) or fixed (open loop)")
+	flagMode     = flag.String("mode", "", "overload stance (closed/fixed, default closed) or DTN stance (custody/aimd, default custody)")
+
+	flagDTN  = flag.Bool("dtn", false, "run the interplanetary DTN family instead of a fault scenario")
+	flagJSON = flag.String("json", "", "with -dtn -all: archive the seed-swept contrast as JSON here")
 )
 
 func main() {
 	flag.Parse()
+	if *flagDTN {
+		if *flagAll {
+			os.Exit(runDTNAll())
+		}
+		mode := *flagMode
+		if mode == "" {
+			mode = "custody"
+		}
+		os.Exit(runDTN(mode, *flagSeed, true))
+	}
 	if *flagOverload {
+		mode := *flagMode
+		if mode == "" {
+			mode = "closed"
+		}
 		if *flagAll {
 			os.Exit(runOverloadAll())
 		}
-		os.Exit(runOverload(*flagShape, *flagMode, true))
+		os.Exit(runOverload(*flagShape, mode, true))
 	}
 	if *flagAll {
 		os.Exit(runAll())
@@ -238,6 +264,130 @@ func printOverloadSummary(res *soak.OverloadResult) {
 		res.EndVirtual, res.DrainEvents)
 	if res.Passed() {
 		fmt.Println("invariants: all held (goodput floor, Critical protection, exactly-once, clean drain)")
+		return
+	}
+	fmt.Printf("invariants: %d VIOLATED\n", len(res.Violations))
+	const maxPrint = 12
+	for i, v := range res.Violations {
+		if i == maxPrint {
+			fmt.Printf("  (… %d more)\n", len(res.Violations)-maxPrint)
+			break
+		}
+		fmt.Printf("  ! %s\n", v)
+	}
+}
+
+// runDTN executes one DTN scenario (interplanetary delay, conjunction
+// blackouts) and prints its delay-tolerant invariant report. verbose
+// additionally prints the metric tree (if -tree).
+func runDTN(mode string, seed int64, verbose bool) int {
+	ok := false
+	for _, m := range soak.DTNModes {
+		if m == mode {
+			ok = true
+		}
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "alfchaos: unknown dtn mode %q (want custody or aimd)\n", mode)
+		return 2
+	}
+	reg := metrics.New()
+	res, err := soak.RunDTN(soak.DTNConfig{Seed: seed, Mode: mode, Metrics: reg})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
+		return 2
+	}
+	printDTNSummary(res)
+	if verbose && *flagTree {
+		fmt.Println()
+		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
+			return 2
+		}
+	}
+	if !res.Passed() {
+		return 1
+	}
+	return 0
+}
+
+// runDTNAll sweeps both stances over three seeds, summary lines only,
+// and (with -json) archives the contrast. The exit code ignores the
+// expected aimd violations — end-to-end collapse at interplanetary
+// delay is the demonstration, not a failure of the gate. A custody
+// violation still exits 1.
+func runDTNAll() int {
+	type seedPoints struct {
+		Seed   int64                  `json:"seed"`
+		Points []experiments.DTNPoint `json:"points"`
+	}
+	var archive []seedPoints
+	exit := 0
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, mode := range soak.DTNModes {
+			res, err := soak.RunDTN(soak.DTNConfig{Seed: seed, Mode: mode})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
+				return 2
+			}
+			printDTNSummary(res)
+			fmt.Println()
+			if mode == "custody" && !res.Passed() && exit < 1 {
+				exit = 1
+			}
+		}
+		if *flagJSON != "" {
+			pts, err := experiments.RunDTNContrast(experiments.DTNConfig{Seed: seed})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
+				return 2
+			}
+			archive = append(archive, seedPoints{Seed: seed, Points: pts})
+		}
+	}
+	if *flagJSON != "" {
+		doc := struct {
+			Date string       `json:"date"`
+			Go   string       `json:"go"`
+			DTN  []seedPoints `json:"dtn"`
+		}{
+			Date: time.Now().UTC().Format("2006-01-02"),
+			Go:   runtime.Version(),
+			DTN:  archive,
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*flagJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
+			return 2
+		}
+		fmt.Printf("dtn contrast archived to %s\n", *flagJSON)
+	}
+	return exit
+}
+
+// printDTNSummary renders the delay-tolerant report of one run.
+func printDTNSummary(res *soak.DTNResult) {
+	fmt.Printf("dtn: %s stance, seed %d, horizon %v (8-min one-way path, two 40-min blackouts)\n",
+		res.Mode, res.Seed, res.Horizon)
+	fmt.Printf("delivered: %d/%d ADUs, %.1f kb/s goodput, %d reported lost (%d Critical)\n",
+		res.Delivered, res.Submitted, res.GoodputBps/1e3, res.LostADUs, res.CriticalLost)
+	if res.Mode == "custody" {
+		fmt.Printf("custody: %d releases at the sender, store peak %d B, %d evicted, "+
+			"%d shed, %d ADUs re-originated, %d NACKs answered in one hop\n",
+			res.CustodyReleased, res.RelayPeakBytes, res.RelayEvicted,
+			res.RelayShed, res.RelayRetxADUs, res.NacksAnswered)
+	} else {
+		fmt.Printf("end-to-end: %d retention deadlines expired, %d NACKs nobody could fill\n",
+			res.DeadlineDrops, res.UnfilledNacks)
+	}
+	fmt.Printf("drain: quiescent at %v after %d post-horizon events\n",
+		res.EndVirtual, res.DrainEvents)
+	if res.Passed() {
+		fmt.Println("invariants: all held (Critical exactly-once, bounded custody storage, clean drain)")
 		return
 	}
 	fmt.Printf("invariants: %d VIOLATED\n", len(res.Violations))

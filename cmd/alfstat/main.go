@@ -65,6 +65,7 @@ var (
 	flagOutage  = flag.Duration("outage", 0, "black out every data link for this long, 100ms into the run (0 = none)")
 	flagOver    = flag.Bool("overload", false, "also run the fixed-vs-closed overload contrast through a shared bottleneck")
 	flagShape   = flag.String("shape", "steady", "overload arrival pattern: steady, burst, flash")
+	flagDTN     = flag.Bool("dtn", false, "also run the end-to-end-vs-custody contrast over an interplanetary path")
 )
 
 func main() {
@@ -91,6 +92,15 @@ func main() {
 			os.Exit(1)
 		}
 		summary += over
+	}
+
+	if *flagDTN {
+		dtn, err := runDTNContrast(reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alfstat: %v\n", err)
+			os.Exit(1)
+		}
+		summary += dtn
 	}
 
 	if *flagKernels {
@@ -278,6 +288,38 @@ func runOverloadContrast(reg *metrics.Registry) (string, error) {
 			"%d Critical lost, %d shed, %d trunk drops — %s\n",
 			p.Mode, p.GoodputMbps, p.CapacityFrac*100, p.CriticalLost,
 			p.ShedADUs, p.TrunkDrops, verdict)
+	}
+	return b.String(), nil
+}
+
+// runDTNContrast runs the end-to-end-vs-custody experiment (a
+// three-hop path with 8-minute one-way delay and two 40-minute
+// conjunction blackouts) and registers each stance's headline numbers
+// as alfstat.dtn.* gauges, so the delay-tolerance argument shows up in
+// the same tree as everything else.
+func runDTNContrast(reg *metrics.Registry) (string, error) {
+	pts, err := experiments.RunDTNContrast(experiments.DTNConfig{Seed: *flagSeed})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, p := range pts {
+		mode := "mode=" + p.Mode
+		reg.Gauge("alfstat.dtn.goodput_bps", mode).Set(int64(p.GoodputKbps * 1e3))
+		reg.Gauge("alfstat.dtn.delivered_permille", mode).Set(int64(p.DeliveredFrac * 1e3))
+		reg.Gauge("alfstat.dtn.critical_lost", mode).Set(int64(p.CriticalLost))
+		reg.Gauge("alfstat.dtn.deadline_drops", mode).Set(p.DeadlineDrops)
+		reg.Gauge("alfstat.dtn.relay_peak_bytes", mode).Set(p.RelayPeakBytes)
+		reg.Gauge("alfstat.dtn.custody_released", mode).Set(p.CustodyReleased)
+		reg.Gauge("alfstat.dtn.nacks_answered", mode).Set(p.NacksAnswered)
+		verdict := "delay-tolerant invariants held"
+		if !p.Passed {
+			verdict = "COLLAPSED (invariants violated)"
+		}
+		fmt.Fprintf(&b, "dtn %-7s: %.0f%% delivered (%.1f kb/s), %d Critical lost, "+
+			"%d deadline drops, %d custody releases, %d NACKs answered locally — %s\n",
+			p.Mode, p.DeliveredFrac*100, p.GoodputKbps, p.CriticalLost,
+			p.DeadlineDrops, p.CustodyReleased, p.NacksAnswered, verdict)
 	}
 	return b.String(), nil
 }

@@ -270,6 +270,23 @@ type Config struct {
 	// loss fraction (EWMA over feedback reports) exceeds it
 	// (default 0.25). Only meaningful with FeedbackInterval set.
 	ShedLossFrac float64
+	// Custody opts the sender into DTN-style custody transfer: a
+	// downstream store-and-forward relay (internal/relay) that has a
+	// complete copy of an ADU sends a custody-ack frame, and the sender
+	// releases its retained copy and stops answering NACKs for that
+	// name — recovery responsibility has moved one hop downstream.
+	// This trades end-to-end retention for bounded buffers at
+	// interplanetary delays: without custody, a sender facing a 40-min
+	// blackout either holds gigabytes or blows ADUDeadline. Off by
+	// default because releasing before end-to-end confirmation is a
+	// semantic change the application must ask for.
+	Custody bool
+	// PathRTT, when non-zero, documents the path's expected round-trip
+	// time for validation: Validate rejects a WindowedRate controller
+	// whose StaleAfter is shorter than the RTT (every report would
+	// look stale and the model could never form). Informational
+	// otherwise — the protocol measures, it does not assume (§3).
+	PathRTT sim.Duration
 	// RecoveryFrac caps recovery traffic: retransmissions (SenderBuffered
 	// resends and AppRecompute regenerations) may consume at most this
 	// fraction of the current send rate, enforced by a token bucket
@@ -308,6 +325,7 @@ func (c *Config) Validate() error {
 		{"ADUDeadline", c.ADUDeadline},
 		{"FeedbackInterval", c.FeedbackInterval},
 		{"ShedBacklog", c.ShedBacklog},
+		{"PathRTT", c.PathRTT},
 	} {
 		if d.v < 0 {
 			return fmt.Errorf("%w: %s %v is negative", ErrConfig, d.name, d.v)
@@ -342,6 +360,22 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("%w: Controller set on an unpaced stream (RateBps 0); there is no rate to control",
 				ErrConfig)
 		}
+	}
+	if wr, ok := c.Controller.(*WindowedRate); ok {
+		if wr.Window < 0 {
+			return fmt.Errorf("%w: WindowedRate.Window %d is negative", ErrConfig, wr.Window)
+		}
+		if wr.StaleAfter < 0 {
+			return fmt.Errorf("%w: WindowedRate.StaleAfter %v is negative", ErrConfig, wr.StaleAfter)
+		}
+		if c.PathRTT > 0 && wr.StaleAfter > 0 && wr.StaleAfter < c.PathRTT {
+			return fmt.Errorf("%w: WindowedRate.StaleAfter %v is shorter than PathRTT %v; every report would look stale and the delivery model could never form",
+				ErrConfig, wr.StaleAfter, c.PathRTT)
+		}
+	}
+	if c.Custody && c.Policy == AppRecompute {
+		return fmt.Errorf("%w: Custody with the app-recompute policy; there is no retained copy for a custody ack to release",
+			ErrConfig)
 	}
 	return nil
 }

@@ -54,6 +54,9 @@ func bindSenderMetrics(r *metrics.Registry, s *Sender) senderMetrics {
 		{"core.send.rate_changes", func() int64 { return st.RateChanges }},
 		{"core.send.retx_suppressed", func() int64 { return st.RetxSuppressed }},
 		{"core.send.wire_bytes", func() int64 { return st.WireBytes }},
+		{"core.send.custody_acks", func() int64 { return st.CustodyAcks }},
+		{"core.send.custody_released", func() int64 { return st.CustodyReleased }},
+		{"core.send.custody_nacks", func() int64 { return st.CustodyNacks }},
 	} {
 		r.CounterFunc(c.name, c.fn, lb)
 	}

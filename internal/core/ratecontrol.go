@@ -20,10 +20,12 @@ package alf
 
 import "repro/internal/sim"
 
-// Priority classifies an ADU for load shedding. The class never
-// travels on the wire: shedding is a sender-side decision made before
-// packetization, which is the whole point — a shed ADU costs nothing
-// downstream and consumes no ADU name.
+// Priority classifies an ADU for load shedding. Shedding is a
+// sender-side decision made before packetization, which is the whole
+// point — a shed ADU costs nothing downstream and consumes no ADU
+// name. Critical is additionally marked on the wire (flagCritical) so
+// custody relays can apply the same survivability ordering to their
+// bounded stores.
 type Priority uint8
 
 const (
@@ -124,6 +126,117 @@ type AIMD struct {
 	// as congestion (default 0.02). Below it, residual line loss and
 	// in-flight skew are treated as noise.
 	LossThreshold float64
+}
+
+// WindowedRate is a model-based controller for paths where feedback
+// ages faster than it travels: it paces from a windowed maximum of
+// measured delivery rates instead of reacting to each report's loss
+// fraction. AIMD collapses in the delay-tolerant regime — at a
+// 16-minute RTT every report describes the path as it was many
+// minutes ago, and one blackout-spanning report (huge apparent loss)
+// triggers a multiplicative backoff that then needs hours of additive
+// probing to undo. WindowedRate instead keeps a short window of
+// delivery-rate samples (RecvBytes over the report interval — what
+// the path demonstrably carried) and paces at a gain over the window
+// maximum, BBR-style. Reports whose interval exceeds StaleAfter are
+// treated as describing an outage, not the path: they are excluded
+// from the model, so the estimate holds through a blackout and
+// transmission resumes at the pre-blackout rate the moment the link
+// heals. Zero fields take the listed defaults, so WindowedRate{} is
+// usable as-is.
+type WindowedRate struct {
+	// Floor is the minimum rate (default 128 kb/s), same role as
+	// AIMD.Floor: a stream paced to zero never measures anything.
+	Floor float64
+	// Ceil is the maximum rate (default: unbounded).
+	Ceil float64
+	// Window is how many fresh delivery samples the model keeps
+	// (default 8, max 32). The estimate is the maximum over the
+	// window, so one slow interval never drags the pace down.
+	Window int
+	// Gain scales the windowed estimate into a pacing rate
+	// (default 1.0).
+	Gain float64
+	// ProbeGain replaces Gain on every ProbeEvery-th fresh sample
+	// (default 1.25): the model can only learn a higher delivery rate
+	// by occasionally offering one.
+	ProbeGain float64
+	// ProbeEvery is the probe cadence in fresh samples (default 6).
+	ProbeEvery int
+	// StaleAfter is the report-interval age beyond which a sample is
+	// excluded from the model (default 0 = never stale). Set it to a
+	// few feedback intervals: anything longer means reports stopped
+	// flowing — a blackout, not a slower path.
+	StaleAfter sim.Duration
+
+	window [32]float64 // delivery-rate ring, model state
+	n      int         // samples stored (<= effective Window)
+	head   int         // next ring slot
+	fresh  int         // fresh samples seen, drives the probe cadence
+}
+
+// OnFeedback folds one report into the delivery model and returns the
+// paced rate. It never allocates.
+func (w *WindowedRate) OnFeedback(cur float64, s RateSample) float64 {
+	if s.Interval <= 0 {
+		return cur
+	}
+	size := w.Window
+	if size <= 0 {
+		size = 8
+	}
+	if size > len(w.window) {
+		size = len(w.window)
+	}
+	stale := w.StaleAfter > 0 && s.Interval > w.StaleAfter
+	if !stale {
+		// Delivery rate the path demonstrated over this interval.
+		rate := float64(s.RecvBytes) * 8 / s.Interval.Seconds()
+		w.window[w.head] = rate
+		w.head = (w.head + 1) % size
+		if w.n < size {
+			w.n++
+		}
+		w.fresh++
+	}
+	est := 0.0
+	for i := 0; i < w.n; i++ {
+		if w.window[i] > est {
+			est = w.window[i]
+		}
+	}
+	if est <= 0 {
+		// No model yet (or only stale reports so far): hold the
+		// current rate rather than guess.
+		return cur
+	}
+	gain := w.Gain
+	if gain <= 0 {
+		gain = 1.0
+	}
+	probeEvery := w.ProbeEvery
+	if probeEvery <= 0 {
+		probeEvery = 6
+	}
+	if !stale && w.fresh%probeEvery == 0 {
+		probe := w.ProbeGain
+		if probe <= 0 {
+			probe = 1.25
+		}
+		gain = probe
+	}
+	next := gain * est
+	floor := w.Floor
+	if floor <= 0 {
+		floor = 128e3
+	}
+	if next < floor {
+		next = floor
+	}
+	if w.Ceil > 0 && next > w.Ceil {
+		next = w.Ceil
+	}
+	return next
 }
 
 // OnFeedback applies one AIMD step.

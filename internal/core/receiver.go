@@ -76,7 +76,15 @@ func nackDue(now sim.Time, first, last sim.Time, nacks int, delay sim.Duration) 
 	if shift > 5 {
 		shift = 5
 	}
-	return now.Sub(last) >= delay<<uint(shift)
+	// Saturating shift: at DTN parameters NackDelay is minutes, and
+	// minutes<<5 is fine — but nothing stops an application configuring
+	// a delay near the int64 horizon, and a wrapped-negative backoff
+	// would NACK on every scan forever.
+	backoff := delay << uint(shift)
+	if backoff>>uint(shift) != delay {
+		return false // overflowed: the backed-off delay is effectively never
+	}
+	return now.Sub(last) >= backoff
 }
 
 // Receiver is the receiving half of an ALF stream. Complete ADUs are

@@ -2,6 +2,7 @@ package alf
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/buf"
 	"repro/internal/ilp"
@@ -31,6 +32,11 @@ type SenderStats struct {
 	RateChanges    int64 // controller-driven rate updates applied
 	RetxSuppressed int64 // resends withheld by the recovery-bandwidth cap
 	WireBytes      int64 // data-plane wire bytes emitted (headers included)
+
+	// Custody-transfer accounting (Config.Custody; see internal/relay).
+	CustodyAcks     int64 // custody-ack frames accepted
+	CustodyReleased int64 // buffered ADUs freed by custody transfer
+	CustodyNacks    int64 // NACKs suppressed: the ADU is in downstream custody
 }
 
 // wireFrag is one stamped wire packet (header + fragment payload) in a
@@ -115,6 +121,15 @@ type Sender struct {
 	// ADUs are buffered and a deadline is configured.
 	retire *sim.Timer
 
+	// Custody-transfer state (Config.Custody): every name below
+	// custodyCum is held by a downstream relay, and custodyDone records
+	// out-of-order custody above the frontier. A NACK for a custody-
+	// released name is the receiver asking for data the relay now owns;
+	// resending it from here would race the relay's own recovery, so it
+	// is suppressed (Stats.CustodyNacks).
+	custodyCum  uint64
+	custodyDone map[uint64]struct{}
+
 	// Closed-loop state (see ratecontrol.go): the last feedback report
 	// processed, kept cumulative so per-interval deltas survive lost
 	// reports, and the loss EWMA that drives shedding.
@@ -194,6 +209,14 @@ func (s *Sender) hbInterval() sim.Duration {
 	}
 	max := s.cfg.HeartbeatMaxInterval
 	for i := (s.hbMisses - hbSilentMisses) / 2; i > 0 && iv < max; i-- {
+		// Saturate instead of doubling past the int64 edge: with the
+		// hour-scale intervals a DTN path configures, the backoff
+		// reaches the representable limit in a few dozen misses, and a
+		// wrapped-negative interval would stall the timer forever.
+		if iv > max/2 {
+			iv = max
+			break
+		}
 		iv *= 2
 	}
 	if iv > max {
@@ -207,7 +230,15 @@ func (s *Sender) hbInterval() sim.Duration {
 	if span <= 0 {
 		return iv
 	}
-	return iv*3/4 + sim.Duration(int64(s.jitter>>1)%span)
+	// iv - iv/4 is iv*3/4 without the iv*3 overflow, and the final sum
+	// saturates: HeartbeatMaxInterval may legitimately sit near the
+	// int64 horizon.
+	base := iv - iv/4
+	j := sim.Duration(int64(s.jitter>>1) % span)
+	if base > sim.Duration(math.MaxInt64)-j {
+		return sim.Duration(math.MaxInt64)
+	}
+	return base + j
 }
 
 // onRetire sheds retention past the ADUDeadline and re-arms for the
@@ -220,6 +251,13 @@ func (s *Sender) onRetire() {
 	var next sim.Time = -1
 	for name, saved := range s.buffered {
 		due := saved.sentAt.Add(s.cfg.ADUDeadline)
+		if due < saved.sentAt {
+			// sentAt + deadline wrapped past the int64 horizon: at
+			// hour-scale deadlines deep into a long run the sum can
+			// overflow, and a wrapped due would expire the ADU
+			// instantly. Treat it as never-due instead.
+			continue
+		}
 		if due <= now {
 			s.bufBytes -= saved.wireLen
 			saved.release()
@@ -329,7 +367,7 @@ func (s *Sender) SendClass(tag uint64, syntax xcode.SyntaxID, data []byte, class
 	name := s.nextName
 
 	frags, ck := s.packetize(name, data, s.scratch[:0])
-	s.stamp(name, tag, syntax, len(data), ck, frags)
+	s.stamp(name, tag, syntax, len(data), ck, class, frags)
 
 	retain := s.cfg.Policy == SenderBuffered
 	if retain {
@@ -413,11 +451,16 @@ func (s *Sender) packetize(name uint64, data []byte, frags []wireFrag) ([]wireFr
 }
 
 // stamp prepends and fills each fragment's header in place: the
-// payload, already in its final position, never moves.
-func (s *Sender) stamp(name, tag uint64, syntax xcode.SyntaxID, totalLen int, ck uint16, frags []wireFrag) {
+// payload, already in its final position, never moves. Critical ADUs
+// carry flagCritical so intermediate custody relays can apply the
+// application's survival priority without decoding payloads.
+func (s *Sender) stamp(name, tag uint64, syntax xcode.SyntaxID, totalLen int, ck uint16, class Priority, frags []wireFrag) {
 	var flags byte
 	if s.cfg.Key != 0 {
 		flags |= flagEnciphered
+	}
+	if class == Critical {
+		flags |= flagCritical
 	}
 	h := header{
 		Stream:   s.cfg.StreamID,
@@ -547,6 +590,9 @@ func (s *Sender) HandleControl(pkt []byte) error {
 	if len(pkt) > 0 && pkt[0] == typeFB {
 		return s.handleFeedback(pkt)
 	}
+	if len(pkt) > 0 && pkt[0] == typeCA {
+		return s.handleCustody(pkt)
+	}
 	c, err := parseControl(pkt)
 	if err != nil {
 		s.Stats.CtrlDropped++
@@ -633,6 +679,82 @@ func (s *Sender) handleFeedback(pkt []byte) error {
 	return nil
 }
 
+// handleCustody processes a custody-ack frame from a downstream relay
+// (Config.Custody): the relay holds complete copies of the named ADUs
+// and has taken over recovery responsibility for them, so retention
+// here ends. The heartbeat frontier is untouched — custody is not
+// delivery, and the receiver's own cumulative acks still govern when
+// the stream extent stops being declared.
+func (s *Sender) handleCustody(pkt []byte) error {
+	ca, err := ParseCustody(pkt)
+	if err != nil {
+		s.Stats.CtrlDropped++
+		return err
+	}
+	if ca.Stream != s.cfg.StreamID {
+		return ErrWrongStream
+	}
+	if !s.cfg.Custody {
+		// The application did not opt in; a custody ack must not
+		// release anything.
+		return nil
+	}
+	s.Stats.CustodyAcks++
+	if ca.Cum > s.custodyCum {
+		s.custodyCum = ca.Cum
+		// The frontier subsumes every individually-tracked name
+		// below it.
+		for name := range s.custodyDone {
+			if name < s.custodyCum {
+				delete(s.custodyDone, name)
+			}
+		}
+	}
+	release := func(name uint64) {
+		saved, ok := s.buffered[name]
+		if !ok {
+			return
+		}
+		s.bufBytes -= saved.wireLen
+		saved.release()
+		delete(s.buffered, name)
+		s.Stats.CustodyReleased++
+		s.cfg.Tracer.CustodyReleased(s.cfg.StreamID, ca.Relay, name)
+		if s.OnRelease != nil {
+			s.OnRelease(name)
+		}
+	}
+	for name := range s.buffered {
+		if name < s.custodyCum {
+			release(name)
+		}
+	}
+	for _, name := range ca.Names {
+		if name < s.custodyCum {
+			continue
+		}
+		release(name)
+		if s.custodyDone == nil {
+			s.custodyDone = make(map[uint64]struct{})
+		}
+		s.custodyDone[name] = struct{}{}
+	}
+	return nil
+}
+
+// inCustody reports whether a name's recovery responsibility has moved
+// to a downstream custodian.
+func (s *Sender) inCustody(name uint64) bool {
+	if !s.cfg.Custody {
+		return false
+	}
+	if name < s.custodyCum {
+		return true
+	}
+	_, ok := s.custodyDone[name]
+	return ok
+}
+
 // allowRecovery charges n wire bytes of retransmission against the
 // recovery-bandwidth token bucket (RecoveryFrac x RateBps, one second
 // of burst). During a loss episode this is what keeps recovery traffic
@@ -666,6 +788,13 @@ func (s *Sender) allowRecovery(n int, class Priority) bool {
 
 // resend recovers one ADU according to the stream policy.
 func (s *Sender) resend(name uint64) {
+	if s.inCustody(name) {
+		// A downstream relay holds the ADU and answers NACKs itself;
+		// resending from here would duplicate its recovery traffic
+		// across the slowest hops of the path.
+		s.Stats.CustodyNacks++
+		return
+	}
 	switch s.cfg.Policy {
 	case SenderBuffered:
 		saved, ok := s.buffered[name]
@@ -697,7 +826,7 @@ func (s *Sender) resend(name uint64) {
 		s.Stats.RecomputeADUs++
 		s.m.ilpBytes.Add(int64(len(data)))
 		frags, ck := s.packetize(name, data, s.scratch[:0])
-		s.stamp(name, tag, syntax, len(data), ck, frags)
+		s.stamp(name, tag, syntax, len(data), ck, Standard, frags)
 		s.emitFrags(name, frags, true, false)
 		s.scratch = frags[:0]
 	case NoRetransmit:

@@ -36,6 +36,7 @@ const (
 	typeCtrl = 2
 	typeHB   = 3
 	typeFB   = 4
+	typeCA   = 5
 )
 
 // Header flags.
@@ -48,6 +49,12 @@ const (
 	// ADU as usual so a parity fragment can also create the reassembly
 	// state.
 	flagParity = 1 << 1
+	// flagCritical marks a fragment of a Critical-priority ADU. The
+	// class normally never travels on the wire (shedding is a
+	// sender-side decision), but custody relays need it: a bounded
+	// custody store sheds and evicts non-Critical ADUs first, and the
+	// only place a relay can learn the class is the fragment header.
+	flagCritical = 1 << 2
 )
 
 // header is the decoded DATA fragment header.
@@ -237,17 +244,151 @@ func parseFeedback(pkt []byte) (stream byte, seq uint32, wire, good uint64, err 
 		binary.BigEndian.Uint64(pkt[6:14]), binary.BigEndian.Uint64(pkt[14:22]), nil
 }
 
+// Custody-ack layout (big-endian): a store-and-forward relay's
+// declaration that it now holds complete copies of the named ADUs and
+// accepts responsibility for delivering them downstream (DTN-style
+// custody transfer). On receipt the upstream custodian — the original
+// sender, or another relay — may release its own retained copy and
+// stop answering NACKs for those names: recovery responsibility has
+// moved one hop closer to the receiver.
+//
+//	0      type (5=CA)
+//	1      stream id
+//	2      relay id (which custodian is speaking; 0 = unspecified)
+//	3      pad (keeps the frame even and the checksum slot aligned)
+//	4:12   custody frontier: every ADU named < this is in custody
+//	12:14  count k of individually-named ADUs >= the frontier
+//	14:..  k * 8-byte ADU names
+//	..+2   checksum over the whole message
+const custodyAckMin = 16
+
+// CustodyAck is a decoded custody-transfer acknowledgment. It is
+// exported (with EncodeCustody/ParseCustody) because custody frames
+// are produced by relay nodes outside this package, not by the
+// endpoints.
+type CustodyAck struct {
+	Stream byte
+	Relay  byte
+	// Cum is the custody frontier: every ADU named < Cum is held
+	// downstream.
+	Cum uint64
+	// Names lists ADUs >= Cum taken into custody out of order. At most
+	// MaxCustodyNames fit one frame.
+	Names []uint64
+}
+
+// MaxCustodyNames bounds one custody-ack frame to stay under typical
+// MTUs, mirroring the NACK bound on control messages.
+const MaxCustodyNames = maxNacksPerMsg
+
+// EncodeCustody encodes a custody acknowledgment for the wire.
+func EncodeCustody(ca *CustodyAck) []byte {
+	n := len(ca.Names)
+	msg := make([]byte, 14+8*n+2)
+	msg[0] = typeCA
+	msg[1] = ca.Stream
+	msg[2] = ca.Relay
+	binary.BigEndian.PutUint64(msg[4:12], ca.Cum)
+	binary.BigEndian.PutUint16(msg[12:14], uint16(n))
+	for i, name := range ca.Names {
+		binary.BigEndian.PutUint64(msg[14+8*i:], name)
+	}
+	ck := checksum.Sum16(msg)
+	binary.BigEndian.PutUint16(msg[len(msg)-2:], ck)
+	return msg
+}
+
+// ParseCustody decodes and verifies a custody acknowledgment.
+func ParseCustody(pkt []byte) (CustodyAck, error) {
+	if len(pkt) < custodyAckMin || pkt[0] != typeCA {
+		return CustodyAck{}, fmt.Errorf("%w: custody", ErrBadHeader)
+	}
+	if !checksum.Verify16(pkt) {
+		return CustodyAck{}, fmt.Errorf("%w: custody checksum", ErrBadHeader)
+	}
+	n := int(binary.BigEndian.Uint16(pkt[12:14]))
+	if len(pkt) != 14+8*n+2 {
+		return CustodyAck{}, fmt.Errorf("%w: custody length %d for %d names", ErrBadHeader, len(pkt), n)
+	}
+	ca := CustodyAck{Stream: pkt[1], Relay: pkt[2], Cum: binary.BigEndian.Uint64(pkt[4:12])}
+	for i := 0; i < n; i++ {
+		ca.Names = append(ca.Names, binary.BigEndian.Uint64(pkt[14+8*i:]))
+	}
+	return ca, nil
+}
+
+// FragmentInfo is the relay-facing view of a DATA fragment header:
+// exactly the delivery information §7 says should be "visible to all
+// the protocol functions", here read by an intermediate custody node
+// that never decodes payloads.
+type FragmentInfo struct {
+	Stream   byte
+	Name     uint64
+	TotalLen int
+	FragOff  int
+	FragLen  int
+	// Critical reports the flagCritical bit: this fragment belongs to
+	// an ADU the application declared must survive.
+	Critical bool
+	// Parity reports a FEC parity fragment; parity does not count
+	// toward TotalLen when judging reassembly completeness.
+	Parity bool
+}
+
+// SniffFragment decodes a DATA fragment header for an intermediary.
+// It returns ok=false for anything that is not a well-formed DATA
+// fragment (wrong type, bad checksum, truncated).
+func SniffFragment(pkt []byte) (FragmentInfo, bool) {
+	h, err := parseHeader(pkt)
+	if err != nil {
+		return FragmentInfo{}, false
+	}
+	return FragmentInfo{
+		Stream:   h.Stream,
+		Name:     h.Name,
+		TotalLen: h.TotalLen,
+		FragOff:  h.FragOff,
+		FragLen:  h.FragLen,
+		Critical: h.Flags&flagCritical != 0,
+		Parity:   h.Flags&flagParity != 0,
+	}, true
+}
+
+// ControlInfo is the relay-facing view of a control message. A custody
+// relay intercepts receiver NACKs, answers the ones it can serve from
+// its own store, and re-encodes the remainder for the upstream hop.
+type ControlInfo struct {
+	Stream byte
+	Cum    uint64
+	Nacks  []uint64
+}
+
+// ParseControlInfo decodes and verifies a control message for an
+// intermediary.
+func ParseControlInfo(pkt []byte) (ControlInfo, error) {
+	c, err := parseControl(pkt)
+	if err != nil {
+		return ControlInfo{}, err
+	}
+	return ControlInfo{Stream: c.Stream, Cum: c.Cum, Nacks: c.Nacks}, nil
+}
+
+// EncodeControlInfo re-encodes a (possibly filtered) control message.
+func EncodeControlInfo(ci ControlInfo) []byte {
+	return encodeControl(&control{Stream: ci.Stream, Cum: ci.Cum, Nacks: ci.Nacks})
+}
+
 // PacketType inspects a wire packet and reports whether it is an ALF
 // DATA fragment (1), control message (2), heartbeat (3), feedback
-// report (4), or unknown (0). Useful for demultiplexers that share a
-// node between protocols. DATA and HB packets flow sender->receiver;
-// CTRL and FB flow back.
+// report (4), custody ack (5), or unknown (0). Useful for
+// demultiplexers that share a node between protocols. DATA and HB
+// packets flow sender->receiver; CTRL, FB, and CA flow back.
 func PacketType(pkt []byte) int {
 	if len(pkt) == 0 {
 		return 0
 	}
 	switch pkt[0] {
-	case typeData, typeCtrl, typeHB, typeFB:
+	case typeData, typeCtrl, typeHB, typeFB, typeCA:
 		return int(pkt[0])
 	default:
 		return 0

@@ -183,6 +183,20 @@ func (in *Injector) Blackout(links []*netsim.Link, start, duration sim.Duration)
 	})
 }
 
+// Conjunction schedules count repeated blackout windows: dark for
+// dark, then passable for bright, starting at start. It models a solar
+// conjunction — or any predictable occultation (orbiters dipping
+// behind a planet, a rotating ground station) — where a deep-space
+// link goes unusable on a schedule rather than once. Each dark window
+// is an ordinary Blackout, so overlapping faults still compose via the
+// per-link refcounts and the links are up after the final window.
+func (in *Injector) Conjunction(links []*netsim.Link, start, dark, bright sim.Duration, count int) {
+	period := dark + bright
+	for i := 0; i < count; i++ {
+		in.Blackout(links, start+sim.Duration(i)*period, dark)
+	}
+}
+
 // Flap runs cycles of (down for downFor, up for upFor) on links,
 // beginning at start. The links are guaranteed up after the last cycle.
 func (in *Injector) Flap(links []*netsim.Link, start, downFor, upFor sim.Duration, cycles int) {

@@ -48,11 +48,19 @@ type Packet struct {
 	ref   *buf.Ref // counted payload buffer; nil only transiently
 	link  *Link    // owning link while queued/in flight
 	delay sim.Duration
+	due   sim.Time // delivery time while in the link's transit FIFO
 	// shed marks a queued packet dropped by a QueueLimit shrink while
 	// its (uncancellable, pooled) departure event was already scheduled;
 	// departCB discards it instead of delivering.
 	shed bool
 }
+
+// Retain returns an additional counted reference to the packet's
+// pooled payload buffer. The loan rules still apply to the *Packet and
+// its Payload slice, but the returned ref (and its Bytes) outlives the
+// handler call — this is how a store-and-forward node (internal/relay)
+// takes custody of a packet without copying it.
+func (p *Packet) Retain() *buf.Ref { return p.ref.Retain() }
 
 // Handler consumes packets arriving at a node. Handlers run inside
 // scheduler callbacks: they must not block. The packet and its payload
@@ -308,7 +316,23 @@ type Link struct {
 	inBad     bool      // Gilbert–Elliott state
 	down      bool
 	held      []*Packet // parked by HoldOnDown, FIFO
-	Stats     LinkStats
+
+	// In-flight pipe: packets past serialization, awaiting delivery.
+	// Constant-delay deliveries fire in depart order, so the pipe is a
+	// FIFO serviced by one timer per link and the scheduler heap stays
+	// O(links) no matter how deep the pipe is — a gigabyte-BDP
+	// interplanetary link holds hundreds of thousands of packets in
+	// flight, and a per-packet heap entry for each would dominate the
+	// simulation. Non-monotone deliveries (reorder extra delay, a
+	// config change that shortened Delay mid-flight) fall back to
+	// per-packet events; transitHead indexes the FIFO's first live
+	// entry, compacted as it advances.
+	transit     []*Packet
+	transitHead int
+	lastDue     sim.Time
+	delTimer    *sim.Timer
+
+	Stats LinkStats
 }
 
 // NewLink creates a unidirectional link from a to b.
@@ -318,6 +342,7 @@ func (n *Network) NewLink(from, to *Node, cfg LinkConfig) *Link {
 	}
 	l := &Link{net: n, from: from, to: to, cfg: cfg,
 		label: fmt.Sprintf("net/%s->%s/%d", from.name, to.name, len(n.links))}
+	l.delTimer = n.Sched.NewTimer(l.onDeliver)
 	n.links = append(n.links, l)
 	if n.metrics != nil {
 		l.bindMetrics(n.metrics, len(n.links)-1)
@@ -668,7 +693,49 @@ func deliverCB(arg any) {
 
 func (l *Link) schedDeliver(pkt *Packet, delay sim.Duration) {
 	pkt.link, pkt.delay = l, delay
-	l.net.Sched.AfterCall(delay, deliverCB, pkt)
+	due := l.net.Sched.Now().Add(delay)
+	if l.transitHead < len(l.transit) && due < l.lastDue {
+		// Out of order with the pipe (reorder extra delay, or the
+		// configured Delay shrank under in-flight traffic): a
+		// per-packet event preserves its earlier arrival.
+		l.net.Sched.AfterCall(delay, deliverCB, pkt)
+		return
+	}
+	pkt.due = due
+	l.lastDue = due
+	l.transit = append(l.transit, pkt)
+	if !l.delTimer.Active() {
+		l.delTimer.Reset(delay)
+	}
+}
+
+// onDeliver drains the head of the in-flight FIFO: every packet whose
+// delivery time has arrived, in depart order, then re-arms for the
+// next. Handlers may send on this same link during the loop; the
+// bounds are re-read every iteration so their packets just extend the
+// pipe.
+func (l *Link) onDeliver() {
+	now := l.net.Sched.Now()
+	for l.transitHead < len(l.transit) {
+		pkt := l.transit[l.transitHead]
+		if pkt.due > now {
+			break
+		}
+		l.transit[l.transitHead] = nil
+		l.transitHead++
+		deliverCB(pkt)
+	}
+	// Compact once the dead prefix dominates, amortizing the copy to
+	// O(1) per delivered packet.
+	if l.transitHead > 0 && l.transitHead*2 >= len(l.transit) {
+		n := copy(l.transit, l.transit[l.transitHead:])
+		clear(l.transit[n:])
+		l.transit = l.transit[:n]
+		l.transitHead = 0
+	}
+	if l.transitHead < len(l.transit) {
+		l.delTimer.Reset(l.transit[l.transitHead].due.Sub(now))
+	}
 }
 
 // lost applies the random and burst loss processes.

@@ -1,0 +1,62 @@
+package netsim
+
+import (
+	"sort"
+	"time"
+)
+
+// Named link profiles for the delay regimes the stack is expected to
+// survive, from terrestrial round trips to the interplanetary
+// parameters of the DTN literature: one-way delays of minutes,
+// bandwidth-delay products of gigabytes, and links that vanish for
+// tens of minutes behind the Sun (see internal/faults.Conjunction for
+// the blackout schedule that pairs with these).
+//
+// The profiles deliberately leave impairments at zero — loss and
+// blackout schedules are scenario decisions — and set QueueLimit
+// generously: at these BDPs the constraint worth modeling is the pipe,
+// not a router queue. A 50 Mb/s link at 4 minutes one-way holds
+// ~1.5 GB in flight; netsim's per-link transit FIFO keeps that depth
+// off the scheduler heap, so simulating it costs O(links), not
+// O(packets in flight).
+
+// Profiles maps profile names to link configurations:
+//
+//	"lan"       120 µs one-way, 1 Gb/s       — same-building reference
+//	"wan"       40 ms one-way, 100 Mb/s      — continental fiber path
+//	"leo"       20 ms one-way, 200 Mb/s      — low-Earth-orbit relay
+//	"geo"       250 ms one-way, 50 Mb/s      — geostationary hop
+//	"lunar"     1.3 s one-way, 100 Mb/s      — Earth–Moon (~2.6 s RTT)
+//	"mars-near" 4 min one-way, 50 Mb/s       — Mars at conjunction-near
+//	                                           approach (~8 min RTT,
+//	                                           ~1.5 GB in flight)
+//	"mars-far"  12 min one-way, 50 Mb/s      — Mars near solar
+//	                                           conjunction (~24 min
+//	                                           RTT, ~4.5 GB in flight)
+var profiles = map[string]LinkConfig{
+	"lan":       {RateBps: 1e9, Delay: 120 * time.Microsecond, QueueLimit: 256},
+	"wan":       {RateBps: 100e6, Delay: 40 * time.Millisecond, QueueLimit: 512},
+	"leo":       {RateBps: 200e6, Delay: 20 * time.Millisecond, QueueLimit: 512},
+	"geo":       {RateBps: 50e6, Delay: 250 * time.Millisecond, QueueLimit: 1024},
+	"lunar":     {RateBps: 100e6, Delay: 1300 * time.Millisecond, QueueLimit: 2048},
+	"mars-near": {RateBps: 50e6, Delay: 4 * time.Minute, QueueLimit: 4096},
+	"mars-far":  {RateBps: 50e6, Delay: 12 * time.Minute, QueueLimit: 4096},
+}
+
+// Profile returns the named link configuration and whether the name is
+// known. The returned config is a copy; callers layer impairments
+// (loss, blackout policies) on top freely.
+func Profile(name string) (LinkConfig, bool) {
+	cfg, ok := profiles[name]
+	return cfg, ok
+}
+
+// ProfileNames returns the known profile names, sorted.
+func ProfileNames() []string {
+	names := make([]string, 0, len(profiles))
+	for name := range profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -32,6 +32,7 @@ const (
 	refALFCtrl         // ALF control: ID=stream
 	refALFHB           // ALF heartbeat: ID=stream, ADU=declared next name
 	refALFFB           // ALF feedback report: ID=stream, ADU=report seq
+	refALFCA           // ALF custody ack: ID=stream, ADU=custody frontier
 	refOTPData         // OTP DATA segment: ID=conn, Off=seq, Len=payload
 	refOTPAck          // OTP pure ACK: ID=conn
 )
@@ -46,6 +47,7 @@ const (
 	alfTypeCtrl      = 2
 	alfTypeHB        = 3
 	alfTypeFB        = 4
+	alfTypeCA        = 5
 
 	otpHeaderSize = 16
 	otpFlagData   = 1 << 0
@@ -98,6 +100,17 @@ func sniffInto(e *Event, pkt []byte) refKind {
 			e.Proto = ProtoALFFB
 			return refALFFB
 		}
+	case alfTypeCA:
+		// No OTP collision possible either. A custody ack is
+		// 14 + 8*count + 2 bytes (see internal/core wire.go).
+		if n := len(pkt); n >= 16 && checksum.Verify16(pkt) {
+			if k := int(binary.BigEndian.Uint16(pkt[12:14])); n == 14+8*k+2 {
+				e.ID = pkt[1]
+				e.ADU = binary.BigEndian.Uint64(pkt[4:12])
+				e.Proto = ProtoALFCA
+				return refALFCA
+			}
+		}
 	}
 	// Not a checksum-valid ALF packet; try OTP.
 	if len(pkt) >= otpHeaderSize && checksum.Verify16(pkt) {
@@ -126,6 +139,7 @@ const (
 	ProtoALFCtrl = "alf-ctrl"
 	ProtoALFHB   = "alf-hb"
 	ProtoALFFB   = "alf-fb"
+	ProtoALFCA   = "alf-ca"
 	ProtoOTPData = "otp-data"
 	ProtoOTPAck  = "otp-ack"
 )

@@ -96,6 +96,16 @@ const (
 	ADUShed    // Droppable ADU shed before transmission (sender overloaded)
 	FeedbackTX // receiver emitted a delivery report
 	RateChange // controller set a new pacing rate (Off = old bps, Len = new bps)
+
+	// Custody-transfer events (internal/relay and the sender's custody
+	// handling). Appended after the overload block so existing recorded
+	// kind values never shift.
+	CustodyStore   // relay took custody of a complete ADU
+	CustodyAckTX   // relay emitted a custody-ack frame upstream
+	CustodyRelease // upstream custodian freed retention on a custody ack
+	CustodyEvict   // relay evicted a non-Critical ADU to fit a new one
+	CustodyShed    // relay refused custody: store full of unevictables
+	CustodyRetx    // relay re-originated a custody ADU downstream
 )
 
 // String names the kind as it appears in timelines.
@@ -155,6 +165,18 @@ func (k Kind) String() string {
 		return "feedback"
 	case RateChange:
 		return "rate"
+	case CustodyStore:
+		return "custody-store"
+	case CustodyAckTX:
+		return "custody-ack"
+	case CustodyRelease:
+		return "custody-release"
+	case CustodyEvict:
+		return "custody-evict"
+	case CustodyShed:
+		return "custody-shed"
+	case CustodyRetx:
+		return "custody-retx"
 	default:
 		return fmt.Sprintf("kind-%d", uint8(k))
 	}
@@ -456,6 +478,69 @@ func (t *Tracer) RateChanged(stream byte, oldBps, newBps float64) {
 	}
 	t.record(Event{Kind: RateChange, Track: t.track("alf/snd/", stream),
 		ID: stream, Off: int64(oldBps), Len: int(newBps)})
+}
+
+// ---- Custody-relay hooks -----------------------------------------------
+
+// CustodyStored records a relay taking custody of a complete ADU of
+// size payload bytes. relay names the custody node's track.
+func (t *Tracer) CustodyStored(relay string, stream byte, name uint64, size int) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Kind: CustodyStore, Track: "relay/" + relay,
+		ID: stream, ADU: name, Len: size})
+}
+
+// CustodyAckSent records a relay acknowledging custody upstream: cum
+// is the custody frontier and n the count of out-of-order names in the
+// frame.
+func (t *Tracer) CustodyAckSent(relay string, stream byte, cum uint64, n int) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Kind: CustodyAckTX, Track: "relay/" + relay,
+		ID: stream, ADU: cum, Len: n})
+}
+
+// CustodyReleased records the upstream custodian (the original sender)
+// freeing its retained copy of an ADU on a custody ack from relay id.
+func (t *Tracer) CustodyReleased(stream, relay byte, name uint64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Kind: CustodyRelease, Track: t.track("alf/snd/", stream),
+		ID: stream, ADU: name, Off: int64(relay)})
+}
+
+// CustodyEvicted records a relay evicting a stored non-Critical ADU to
+// make room.
+func (t *Tracer) CustodyEvicted(relay string, stream byte, name uint64, size int) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Kind: CustodyEvict, Track: "relay/" + relay,
+		ID: stream, ADU: name, Len: size})
+}
+
+// CustodyShedded records a relay refusing custody of an arriving ADU
+// because the store held only unevictable (Critical) data.
+func (t *Tracer) CustodyShedded(relay string, stream byte, name uint64, size int) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Kind: CustodyShed, Track: "relay/" + relay,
+		ID: stream, ADU: name, Len: size})
+}
+
+// CustodyResent records a relay re-originating a custody ADU toward
+// the next hop (heal-triggered or periodic retry).
+func (t *Tracer) CustodyResent(relay string, stream byte, name uint64, frags int) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Kind: CustodyRetx, Track: "relay/" + relay,
+		ID: stream, ADU: name, Len: frags})
 }
 
 // ---- OTP endpoint hooks ------------------------------------------------
