@@ -17,8 +17,11 @@ test:
 # sharded endpoint (core + sim.Group + the experiments flow-scale
 # sweep) drains per-shard schedulers from a worker pool — its
 # determinism and near-linear-scaling tests must hold under -race.
+# telemetry rides along: the flight recorder samples the same registry
+# the workers write, and its barrier-sampled FlowScale determinism
+# test is part of the experiments run.
 race:
-	$(GO) test -race ./internal/metrics ./internal/core ./internal/otp ./internal/parallel ./internal/buf ./internal/netsim ./internal/sim
+	$(GO) test -race ./internal/metrics ./internal/core ./internal/otp ./internal/parallel ./internal/buf ./internal/netsim ./internal/sim ./internal/telemetry
 	$(GO) test -race -run 'FlowScale' ./internal/experiments
 
 vet:
@@ -56,14 +59,17 @@ fuzz:
 # shed/report assertions, and the overload family (closed-loop passes,
 # fixed-rate collapses, both reproducible from fixed seeds — the
 # TestDeterminism/TestOverloadDeterminism assertions), deterministic
-# for the checked-in seeds.
+# for the checked-in seeds. With SOAK_FLIGHTREC_DIR set, a failing
+# headline run leaves its flight-recorder black-box JSON there (CI
+# uploads the directory as an artifact on failure).
 soak:
 	$(GO) test -run 'TestScenarioMatrix|TestBlackoutShedsAndReports|TestDeterminism|TestOverloadClosedLoopNoCollapse|TestOverloadFixedRateCollapses|TestOverloadDeterminism' -v ./internal/faults/soak
 
 # The DTN family: hours of virtual blackout on an 8-minute-one-way
 # path, custody relays + the model-based rate controller versus the
 # end-to-end baseline. Virtual-clock, deterministic, seed-swept — the
-# whole multi-hour soak runs in about a second of wall time.
+# whole multi-hour soak runs in about a second of wall time. Honors
+# SOAK_FLIGHTREC_DIR like `make soak`.
 soak-dtn:
 	$(GO) test -count=1 -run 'TestDTN' -v ./internal/faults/soak
 

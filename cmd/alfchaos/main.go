@@ -28,6 +28,10 @@
 //	                                         # relays + model-based rate control
 //	alfchaos -dtn -mode aimd                 # the end-to-end baseline (collapses)
 //	alfchaos -dtn -all -json BENCH.json      # both stances x seed sweep, archived
+//	alfchaos -dtn -mode aimd -flightrec box.json
+//	                                         # attach the flight recorder: print
+//	                                         # the incident timeline and leave the
+//	                                         # black-box JSON dump for post-mortem
 //
 // Scenarios: flap, blackout, degrade, partition, random.
 // Overload shapes: steady, burst, flash.
@@ -47,6 +51,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/faults/soak"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/tracing"
 )
 
@@ -69,7 +74,39 @@ var (
 
 	flagDTN  = flag.Bool("dtn", false, "run the interplanetary DTN family instead of a fault scenario")
 	flagJSON = flag.String("json", "", "with -dtn -all: archive the seed-swept contrast as JSON here")
+
+	flagFlightRec = flag.String("flightrec", "", "attach the flight recorder to a single run: print the incident timeline and write the black-box JSON dump here (ignored with -all)")
 )
+
+// attachFlightRec builds the recorder for one single-run invocation,
+// or nil when -flightrec is unset — the nil recorder costs nothing.
+func attachFlightRec(horizon time.Duration, dets []telemetry.Detector) *telemetry.Recorder {
+	if *flagFlightRec == "" {
+		return nil
+	}
+	return soak.RecorderFor(horizon, dets...)
+}
+
+// finishFlightRec prints the incident timeline and writes the
+// black-box JSON dump — the same artifact a failing CI soak leaves
+// behind, here available on demand for passing runs too.
+func finishFlightRec(rec *telemetry.Recorder) int {
+	if rec == nil {
+		return 0
+	}
+	fmt.Println()
+	if err := rec.WriteIncidents(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
+		return 2
+	}
+	if err := rec.WriteDumpFile(*flagFlightRec); err != nil {
+		fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
+		return 2
+	}
+	fmt.Printf("flight record (%d ticks, %d incidents) written to %s\n",
+		rec.Ticks(), len(rec.Incidents()), *flagFlightRec)
+	return 0
+}
 
 func main() {
 	flag.Parse()
@@ -116,6 +153,10 @@ func runOne(scenario, policyName string, verbose bool) int {
 		// the horizon, so a larger cap is safe.
 		tracer.SetLimit(4 << 20)
 	}
+	var rec *telemetry.Recorder
+	if verbose {
+		rec = attachFlightRec(*flagDuration, soak.ChaosDetectors())
+	}
 	res, err := soak.Run(soak.Config{
 		Seed:       *flagSeed,
 		Scenario:   scenario,
@@ -127,6 +168,7 @@ func runOne(scenario, policyName string, verbose bool) int {
 		HoldOnDown: *flagHold,
 		Metrics:    reg,
 		Tracer:     tracer,
+		Recorder:   rec,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
@@ -146,6 +188,9 @@ func runOne(scenario, policyName string, verbose bool) int {
 			fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
 			return 2
 		}
+	}
+	if code := finishFlightRec(rec); code != 0 {
+		return code
 	}
 	if !res.Passed() {
 		return 1
@@ -177,6 +222,10 @@ func runOverload(shape, mode string, verbose bool) int {
 		tracer = tracing.New(nil)
 		tracer.SetLimit(4 << 20)
 	}
+	var rec *telemetry.Recorder
+	if verbose {
+		rec = attachFlightRec(*flagDuration, soak.OverloadDetectors())
+	}
 	res, err := soak.RunOverload(soak.OverloadConfig{
 		Seed:     *flagSeed,
 		Shape:    shape,
@@ -184,6 +233,7 @@ func runOverload(shape, mode string, verbose bool) int {
 		Duration: *flagDuration,
 		Metrics:  reg,
 		Tracer:   tracer,
+		Recorder: rec,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
@@ -215,6 +265,9 @@ func runOverload(shape, mode string, verbose bool) int {
 		}
 		fmt.Printf("\nperfetto trace (%d events, %d dropped) written to %s\n",
 			tracer.Len(), tracer.Dropped, *flagTrace)
+	}
+	if code := finishFlightRec(rec); code != 0 {
+		return code
 	}
 	if !res.Passed() {
 		return 1
@@ -292,7 +345,11 @@ func runDTN(mode string, seed int64, verbose bool) int {
 		return 2
 	}
 	reg := metrics.New()
-	res, err := soak.RunDTN(soak.DTNConfig{Seed: seed, Mode: mode, Metrics: reg})
+	var rec *telemetry.Recorder
+	if verbose {
+		rec = attachFlightRec(4*time.Hour, soak.DTNDetectors(soak.DTNConfig{Mode: mode}))
+	}
+	res, err := soak.RunDTN(soak.DTNConfig{Seed: seed, Mode: mode, Metrics: reg, Recorder: rec})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
 		return 2
@@ -304,6 +361,9 @@ func runDTN(mode string, seed int64, verbose bool) int {
 			fmt.Fprintf(os.Stderr, "alfchaos: %v\n", err)
 			return 2
 		}
+	}
+	if code := finishFlightRec(rec); code != 0 {
+		return code
 	}
 	if !res.Passed() {
 		return 1

@@ -23,6 +23,11 @@
 //	alfstat -policy no-retransmit -fec 4
 //	alfstat -kernels=false       # skip the wall-clock §4 kernels
 //	alfstat -ingest run.csv      # fold an `alfbench -csv` run into the tree
+//	alfstat -series delivered    # flight-record the run, render matching
+//	                             # series as sparkline rate-vs-time strips
+//	alfstat -watch 5ms -seriescsv run.csv
+//	                             # sample every 5ms of virtual time, write
+//	                             # the recorded window as CSV
 //
 // Ingested alfbench values are registered as gauges in milli-units
 // (value x1000, suffix _milli) because the registry stores integers.
@@ -44,6 +49,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/otp"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/xcode"
 )
 
@@ -66,6 +72,10 @@ var (
 	flagOver    = flag.Bool("overload", false, "also run the fixed-vs-closed overload contrast through a shared bottleneck")
 	flagShape   = flag.String("shape", "steady", "overload arrival pattern: steady, burst, flash")
 	flagDTN     = flag.Bool("dtn", false, "also run the end-to-end-vs-custody contrast over an interplanetary path")
+
+	flagSeries    = flag.String("series", "", "attach the flight recorder and render matching series as sparkline timelines (substring match, \"all\" = everything)")
+	flagWatch     = flag.Duration("watch", 0, "flight-recorder sampling interval in virtual time (default 10ms; implies recording)")
+	flagSeriesCSV = flag.String("seriescsv", "", "write the recorded series window as CSV here (\"-\" = stdout; implies recording)")
 )
 
 func main() {
@@ -79,7 +89,22 @@ func main() {
 		}
 	}
 
-	summary, err := runScenario(reg)
+	// The flight recorder samples the scenario's registry on the
+	// virtual clock, turning the end-of-run counter tree into
+	// rate-over-time series. Any of the three flags opts in.
+	var rec *telemetry.Recorder
+	if *flagSeries != "" || *flagSeriesCSV != "" || *flagWatch > 0 {
+		iv := *flagWatch
+		if iv <= 0 {
+			iv = 10 * time.Millisecond
+		}
+		rec = telemetry.New(telemetry.Config{
+			Interval:  iv,
+			Detectors: telemetry.DefaultDetectors(0, 0, int64(*flagQueue), 0),
+		})
+	}
+
+	summary, err := runScenario(reg, rec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "alfstat: %v\n", err)
 		os.Exit(1)
@@ -114,6 +139,29 @@ func main() {
 	}
 
 	fmt.Print(summary)
+	if *flagSeries != "" {
+		fmt.Println()
+		if err := rec.WriteSparklines(os.Stdout, *flagSeries, 60); err != nil {
+			fmt.Fprintf(os.Stderr, "alfstat: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *flagSeriesCSV != "" {
+		out := os.Stdout
+		if *flagSeriesCSV != "-" {
+			f, err := os.Create(*flagSeriesCSV)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "alfstat: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := rec.WriteCSV(out); err != nil {
+			fmt.Fprintf(os.Stderr, "alfstat: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Println()
 	if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "alfstat: %v\n", err)
@@ -132,13 +180,15 @@ func parsePolicy(s string) (alf.Policy, error) {
 }
 
 // runScenario drives the measured transfer and returns a short text
-// summary; all metrics land in reg.
-func runScenario(reg *metrics.Registry) (string, error) {
+// summary; all metrics land in reg, and rec (optional) samples them on
+// the virtual clock as the run progresses.
+func runScenario(reg *metrics.Registry, rec *telemetry.Recorder) (string, error) {
 	policy, err := parsePolicy(*flagPolicy)
 	if err != nil {
 		return "", err
 	}
 	sched := sim.NewScheduler()
+	rec.Bind(sched, reg, sim.Time(0).Add(5*time.Minute))
 	net := netsim.New(sched, *flagSeed)
 	net.SetMetrics(reg)
 	link := netsim.LinkConfig{
@@ -227,6 +277,7 @@ func runScenario(reg *metrics.Registry) (string, error) {
 	if err := sched.RunUntil(sim.Time(0).Add(5 * time.Minute)); err != nil {
 		return "", err
 	}
+	rec.Sample() // final state, even if the run drained between ticks
 
 	// Goodput gauges, from delivered bytes over each path's own
 	// completion time (virtual clock, so deterministic per seed).

@@ -4,6 +4,13 @@
 //
 //	go test -bench . -benchmem ./... | benchjson -o BENCH_2026-08-06.json
 //
+// With -series, a flight-recorder CSV (from `alfstat -seriescsv`) is
+// embedded in the document as a sidecar, so the archived run keeps its
+// rate-over-time record next to the end-state numbers:
+//
+//	alfstat -seriescsv run.csv >/dev/null
+//	go test -bench . -benchmem ./... | benchjson -series run.csv -o BENCH.json
+//
 // Lines that are not benchmark results (package headers, PASS/ok,
 // warnings) pass through to stderr untouched so the run stays
 // readable while being captured.
@@ -38,11 +45,21 @@ type Result struct {
 	hasMem bool
 }
 
+// SeriesSidecar embeds a flight-recorder CSV (`alfstat -seriescsv`,
+// or any telemetry WriteCSV output) next to the benchmark numbers, so
+// an archived run keeps its rate-over-time record alongside its
+// end-state figures.
+type SeriesSidecar struct {
+	Path string `json:"path"` // where the CSV came from
+	CSV  string `json:"csv"`  // verbatim contents
+}
+
 // File is the archived document.
 type File struct {
-	Date       string   `json:"date"`
-	GoVersion  string   `json:"go"`
-	Benchmarks []Result `json:"benchmarks"`
+	Date       string         `json:"date"`
+	GoVersion  string         `json:"go"`
+	Benchmarks []Result       `json:"benchmarks"`
+	Series     *SeriesSidecar `json:"series,omitempty"`
 }
 
 // parseLine parses one "BenchmarkName-N  iter  val unit ..." line, or
@@ -115,12 +132,21 @@ func convert(r io.Reader, echo io.Writer, now time.Time) (*File, error) {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	series := flag.String("series", "", "flight-recorder CSV to embed in the document as a sidecar")
 	flag.Parse()
 
 	f, err := convert(os.Stdin, os.Stderr, time.Now())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *series != "" {
+		csv, err := os.ReadFile(*series)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		f.Series = &SeriesSidecar{Path: *series, CSV: string(csv)}
 	}
 	w := io.Writer(os.Stdout)
 	if *out != "" {

@@ -63,6 +63,11 @@ func bindSenderMetrics(r *metrics.Registry, s *Sender) senderMetrics {
 	r.GaugeFunc("core.send.buffered_bytes", func() int64 { return int64(s.bufBytes) }, lb)
 	r.GaugeFunc("core.send.buffered_adus", func() int64 { return int64(len(s.buffered)) }, lb)
 	r.GaugeFunc("core.send.rate_bps", func() int64 { return int64(s.cfg.RateBps) }, lb)
+	// The un-jittered backoff level (hbBackoff, not hbInterval): the
+	// gauge must not step the jitter PRNG or sampling would change the
+	// run. The telemetry plane's backoff-saturation detector watches
+	// this climb to HeartbeatMaxInterval during blackouts.
+	r.GaugeFunc("core.send.heartbeat_interval_ns", func() int64 { return int64(s.hbBackoff()) }, lb)
 	return senderMetrics{
 		aduBytes: r.Histogram("core.send.adu_bytes", lb),
 		ilpBytes: r.Counter("core.send.ilp_pass_bytes", lb),

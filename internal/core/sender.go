@@ -198,11 +198,11 @@ func (s *Sender) onHeartbeat() {
 // HeartbeatMaxInterval, with ±25% jitter.
 const hbSilentMisses = 4
 
-// hbInterval returns the next heartbeat delay. During a blackout this
-// decays the probe rate instead of hammering a dead path at the data-
-// plane NACK cadence; the jitter keeps recovering streams from
-// re-probing in phase.
-func (s *Sender) hbInterval() sim.Duration {
+// hbBackoff returns the current un-jittered heartbeat backoff level.
+// It is a pure read of the miss count — no PRNG step — so the
+// telemetry plane can expose it as a gauge without perturbing the
+// jitter stream (and with it, the run's determinism).
+func (s *Sender) hbBackoff() sim.Duration {
 	iv := s.cfg.HeartbeatInterval
 	if s.hbMisses < hbSilentMisses {
 		return iv
@@ -221,6 +221,18 @@ func (s *Sender) hbInterval() sim.Duration {
 	}
 	if iv > max {
 		iv = max
+	}
+	return iv
+}
+
+// hbInterval returns the next heartbeat delay. During a blackout this
+// decays the probe rate instead of hammering a dead path at the data-
+// plane NACK cadence; the jitter keeps recovering streams from
+// re-probing in phase.
+func (s *Sender) hbInterval() sim.Duration {
+	iv := s.hbBackoff()
+	if s.hbMisses < hbSilentMisses {
+		return iv
 	}
 	// xorshift step; low bits of the advanced state give the jitter.
 	s.jitter ^= s.jitter << 13

@@ -103,6 +103,13 @@ type ShardedConfig struct {
 	// stats are aggregated by Stats instead. Sample snapshots only
 	// while the group is idle (between Run calls or at a barrier).
 	Metrics *metrics.Registry
+	// OnBarrier, if non-nil, runs single-threaded at every barrier
+	// epoch, after the workers have joined and directives applied, with
+	// the barrier's virtual time. It is the sanctioned sampling point
+	// for the telemetry plane's flight recorder (Recorder.SampleAt):
+	// barriers land at deterministic epoch times regardless of Workers,
+	// so recorded series stay bit-identical across worker counts.
+	OnBarrier func(now sim.Time)
 }
 
 func (c *ShardedConfig) fill() {
@@ -395,22 +402,26 @@ func (t *Sharded) SetRateAll(bps float64) {
 }
 
 // exchange is the barrier callback: apply queued directives while all
-// shards are idle and aligned. Returns whether new work may exist.
-func (t *Sharded) exchange(sim.Time) bool {
-	if len(t.directives) == 0 {
-		return false
-	}
-	ds := t.directives
-	t.directives = nil
-	for _, sh := range t.shards {
-		for _, id := range sh.sorted() {
-			f := sh.flows[id]
-			for _, d := range ds {
-				d(f)
+// shards are idle and aligned, then give the observability hook its
+// single-threaded safe point. Returns whether new work may exist.
+func (t *Sharded) exchange(now sim.Time) bool {
+	more := len(t.directives) > 0
+	if more {
+		ds := t.directives
+		t.directives = nil
+		for _, sh := range t.shards {
+			for _, id := range sh.sorted() {
+				f := sh.flows[id]
+				for _, d := range ds {
+					d(f)
+				}
 			}
 		}
 	}
-	return true
+	if t.cfg.OnBarrier != nil {
+		t.cfg.OnBarrier(now)
+	}
+	return more
 }
 
 // Run drains the endpoint to quiescence: epochs of CtrlEpoch virtual

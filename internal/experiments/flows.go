@@ -20,8 +20,10 @@ import (
 	"time"
 
 	alf "repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/xcode"
 )
 
@@ -35,6 +37,17 @@ type FlowScaleConfig struct {
 	TrunkBps float64 // per-shard trunk rate (default 1e9)
 	Load     float64 // offered load as a fraction of trunk rate (default 1.1)
 	Seed     int64
+
+	// Metrics, if non-nil, binds the per-shard series (trunk link and
+	// pool arena, labeled shard=<i>). Created automatically when
+	// Recorder is set.
+	Metrics *metrics.Registry
+	// Recorder, if non-nil, samples Metrics at every control-plane
+	// barrier — the single-threaded safe point where all workers have
+	// joined. Barrier epochs land at the same virtual times for any
+	// Workers value, so the sampled series and incident log are
+	// bit-identical for a seed regardless of parallelism.
+	Recorder *telemetry.Recorder
 }
 
 func (c *FlowScaleConfig) fill() {
@@ -58,6 +71,9 @@ func (c *FlowScaleConfig) fill() {
 	}
 	if c.Load == 0 {
 		c.Load = 1.1
+	}
+	if c.Recorder != nil && c.Metrics == nil {
+		c.Metrics = metrics.New()
 	}
 }
 
@@ -106,10 +122,17 @@ func RunFlowScale(cfg FlowScaleConfig) (FlowScalePoint, error) {
 	cfg.fill()
 	p := FlowScalePoint{Flows: cfg.Flows, Shards: cfg.Shards, Workers: cfg.Workers}
 
+	var onBarrier func(now sim.Time)
+	if cfg.Recorder != nil {
+		cfg.Recorder.Bind(nil, cfg.Metrics, 0) // manual mode: sampled at barriers
+		onBarrier = cfg.Recorder.SampleAt
+	}
 	ep, err := alf.NewSharded(alf.ShardedConfig{
-		Shards:  cfg.Shards,
-		Workers: cfg.Workers,
-		Seed:    cfg.Seed,
+		Shards:    cfg.Shards,
+		Workers:   cfg.Workers,
+		Seed:      cfg.Seed,
+		Metrics:   cfg.Metrics,
+		OnBarrier: onBarrier,
 		Flow: alf.Config{
 			// NoRetransmit on a clean trunk: no retention state, so a
 			// million senders stay small. The confirm loop (heartbeat

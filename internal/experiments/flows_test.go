@@ -1,6 +1,11 @@
 package experiments
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/telemetry"
+)
 
 // TestFlowScaleNearLinear asserts the PR's scaling claim in miniature:
 // aggregate virtual-time throughput grows near-linearly with the shard
@@ -56,5 +61,45 @@ func TestFlowScaleDeterministic(t *testing.T) {
 	b.WallSec, b.EventsPerSec = 0, 0
 	if a != b {
 		t.Fatalf("flow-scale point not reproducible:\n got %+v\nwant %+v", b, a)
+	}
+}
+
+// TestFlowScaleRecorderDeterminism is the telemetry half of the
+// sharding determinism claim: the flight recorder samples at the
+// control-plane barrier — the single-threaded safe point whose epochs
+// land at the same virtual times for any Workers value — so the whole
+// record (tick times, every per-shard series, the incident log) is
+// bit-identical across worker counts. Run under -race by the race
+// target, this also proves barrier sampling is shard-safe.
+func TestFlowScaleRecorderDeterminism(t *testing.T) {
+	workerCounts := []int{1, 2, 8}
+	dumps := make([][]byte, len(workerCounts))
+	for i, w := range workerCounts {
+		rec := telemetry.New(telemetry.Config{
+			Detectors: []telemetry.Detector{
+				&telemetry.ShardImbalance{Series: "netsim.link.delivered_bytes"},
+			},
+		})
+		if _, err := RunFlowScale(FlowScaleConfig{
+			Flows: 512, Shards: 8, Workers: w,
+			FlowADUs: 2, TrunkBps: 1e8, Seed: 11,
+			Recorder: rec,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Ticks() == 0 {
+			t.Fatalf("workers=%d: recorder saw no barrier ticks", w)
+		}
+		var buf bytes.Buffer
+		if err := rec.WriteDump(&buf); err != nil {
+			t.Fatal(err)
+		}
+		dumps[i] = buf.Bytes()
+	}
+	for i := 1; i < len(dumps); i++ {
+		if !bytes.Equal(dumps[0], dumps[i]) {
+			t.Errorf("workers=%d and workers=%d produced different flight records",
+				workerCounts[0], workerCounts[i])
+		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/relay"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tracing"
 	"repro/internal/xcode"
 )
@@ -65,9 +66,16 @@ type DTNConfig struct {
 	// Metrics and Tracer, if non-nil, instrument the whole rig.
 	Metrics *metrics.Registry
 	Tracer  *tracing.Tracer
+	// Recorder, if non-nil, flight-records the run (see Config.Recorder).
+	// An interval of minutes suits the multi-hour horizon: the default
+	// 512-sample ring then spans both conjunction windows.
+	Recorder *telemetry.Recorder
 }
 
 func (c *DTNConfig) fill() {
+	if c.Recorder != nil && c.Metrics == nil {
+		c.Metrics = metrics.New()
+	}
 	if c.Mode == "" {
 		c.Mode = "custody"
 	}
@@ -144,6 +152,7 @@ func RunDTN(cfg DTNConfig) (*DTNResult, error) {
 	//	              └─ 2x 40-min blackout
 	s := sim.NewScheduler()
 	cfg.Tracer.Bind(s)
+	cfg.Recorder.Bind(s, cfg.Metrics, sim.Time(0).Add(cfg.Duration))
 	net := netsim.New(s, cfg.Seed)
 	src := net.NewNode("src")
 	r1 := net.NewNode("r1")
@@ -339,6 +348,7 @@ func RunDTN(cfg DTNConfig) (*DTNResult, error) {
 	}
 	res.DrainEvents = s.Fired() - firedAtHorizon
 	res.EndVirtual = s.Now()
+	cfg.Recorder.Sample() // final post-drain reading for the black box
 
 	// ---- Invariants.
 	// Exactly-once for the Critical tier: delivered, once, no matter
@@ -398,5 +408,6 @@ func RunDTN(cfg DTNConfig) (*DTNResult, error) {
 	res.UnfilledNacks = snd.Stats.UnfilledNacks
 	res.FinalRateBps = snd.Rate()
 	res.GoodputBps = float64(res.Delivered) * float64(cfg.ADUBytes) * 8 / window.Seconds()
+	noteViolations(cfg.Recorder, res.Violations)
 	return res, nil
 }

@@ -12,7 +12,9 @@ import (
 // must uphold every delay-tolerant invariant — Critical exactly-once,
 // bounded relay storage, clean drain.
 func TestDTNCustodySurvivesConjunction(t *testing.T) {
-	res, err := RunDTN(DTNConfig{Seed: 1, Mode: "custody"})
+	rec := RecorderFor(4*time.Hour, DTNDetectors(DTNConfig{})...)
+	dumpOnFailure(t, rec, "dtn-custody")
+	res, err := RunDTN(DTNConfig{Seed: 1, Mode: "custody", Recorder: rec})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tracing"
 	"repro/internal/xcode"
 )
@@ -62,9 +63,16 @@ type OverloadConfig struct {
 	// Metrics and Tracer, if non-nil, instrument the whole rig.
 	Metrics *metrics.Registry
 	Tracer  *tracing.Tracer
+	// Recorder, if non-nil, flight-records the run (see Config.Recorder):
+	// this is how the F10 contrast is replayed as rate-vs-time — the
+	// AIMD backoff/probe sawtooth is invisible in totals.
+	Recorder *telemetry.Recorder
 }
 
 func (c *OverloadConfig) fill() {
+	if c.Recorder != nil && c.Metrics == nil {
+		c.Metrics = metrics.New()
+	}
 	if c.Shape == "" {
 		c.Shape = "steady"
 	}
@@ -195,6 +203,7 @@ func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
 	// trunk; all contention lives in the shared queue.
 	s := sim.NewScheduler()
 	cfg.Tracer.Bind(s)
+	cfg.Recorder.Bind(s, cfg.Metrics, sim.Time(0).Add(cfg.Duration))
 	net := netsim.New(s, cfg.Seed)
 	rL := net.NewRouter("rL")
 	rR := net.NewRouter("rR")
@@ -356,6 +365,7 @@ func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
 	}
 	res.DrainEvents = s.Fired() - firedAtHorizon
 	res.EndVirtual = s.Now()
+	cfg.Recorder.Sample() // final post-drain reading for the black box
 
 	// ---- Aggregate accounting and invariants.
 	for _, st := range streams {
@@ -404,6 +414,7 @@ func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
 		res.violatef("goodput %.2f Mb/s under the %.2f Mb/s no-collapse floor (capacity %.0f Mb/s)",
 			res.GoodputBps/1e6, res.GoodputTarget/1e6, res.CapacityBps/1e6)
 	}
+	noteViolations(cfg.Recorder, res.Violations)
 	return res, nil
 }
 

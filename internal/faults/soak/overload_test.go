@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestOverloadClosedLoopNoCollapse is the core overload soak: three
@@ -13,7 +14,9 @@ import (
 func TestOverloadClosedLoopNoCollapse(t *testing.T) {
 	for _, shape := range OverloadShapes {
 		t.Run(shape, func(t *testing.T) {
-			res, err := RunOverload(OverloadConfig{Seed: 42, Mode: "closed", Shape: shape})
+			rec := RecorderFor(6*time.Second, OverloadDetectors()...)
+			dumpOnFailure(t, rec, "overload-closed-"+shape)
+			res, err := RunOverload(OverloadConfig{Seed: 42, Mode: "closed", Shape: shape, Recorder: rec})
 			if err != nil {
 				t.Fatal(err)
 			}

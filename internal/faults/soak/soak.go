@@ -33,6 +33,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/otp"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tracing"
 	"repro/internal/xcode"
 )
@@ -66,9 +67,18 @@ type Config struct {
 	// spans (ALF endpoints, OTP endpoints, every link, every fault
 	// window), so a violating run can be dumped as a timeline.
 	Tracer *tracing.Tracer
+	// Recorder, if non-nil, flight-records the run: it is bound to the
+	// run's clock and registry (a registry is created when Metrics is
+	// nil), sampled every Recorder interval to the horizon plus once
+	// after the drain, and stamped with a "soak" incident per invariant
+	// violation — the black-box a failing run leaves behind.
+	Recorder *telemetry.Recorder
 }
 
 func (c *Config) fill() {
+	if c.Recorder != nil && c.Metrics == nil {
+		c.Metrics = metrics.New() // the recorder needs series to sample
+	}
 	if c.Scenario == "" {
 		c.Scenario = "random"
 	}
@@ -172,6 +182,7 @@ func Run(cfg Config) (*Result, error) {
 	// groups.
 	s := sim.NewScheduler()
 	cfg.Tracer.Bind(s) // the run's clock did not exist when the caller made it
+	cfg.Recorder.Bind(s, cfg.Metrics, sim.Time(0).Add(cfg.Duration))
 	net := netsim.New(s, cfg.Seed)
 	alfSrc := net.NewNode("alf-src")
 	otpSrc := net.NewNode("otp-src")
@@ -401,6 +412,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.DrainEvents = s.Fired() - firedAtHorizon
 	res.EndVirtual = s.Now()
+	cfg.Recorder.Sample() // final post-drain reading for the black box
 
 	// ---- Invariants.
 	for i := 0; i < cfg.ADUs; i++ {
@@ -494,5 +506,15 @@ func Run(cfg Config) (*Result, error) {
 	res.Faults = inj.Stats
 	res.TrunkDownDrops = lr.Stats.DownDrops + rl.Stats.DownDrops
 	res.TrunkHeld = lr.Stats.HeldPackets + rl.Stats.HeldPackets
+	noteViolations(cfg.Recorder, res.Violations)
 	return res, nil
+}
+
+// noteViolations stamps every invariant violation into the flight
+// record so the black-box dump carries the verdict alongside the
+// series that explain it. Nil-safe both ways.
+func noteViolations(rec *telemetry.Recorder, violations []string) {
+	for _, v := range violations {
+		rec.Note("soak", "", "%s", v)
+	}
 }

@@ -20,10 +20,13 @@ func TestScenarioMatrix(t *testing.T) {
 	for _, scenario := range []string{"flap", "blackout", "degrade", "partition", "random"} {
 		for _, policy := range policies {
 			t.Run(scenario+"/"+policy.String(), func(t *testing.T) {
+				rec := RecorderFor(3*time.Second, ChaosDetectors()...)
+				dumpOnFailure(t, rec, "chaos-"+scenario+"-"+policy.String())
 				res, err := Run(Config{
 					Seed:     1000 + int64(policy),
 					Scenario: scenario,
 					Policy:   policy,
+					Recorder: rec,
 				})
 				if err != nil {
 					t.Fatal(err)

@@ -12,6 +12,22 @@ import (
 // [2^(i-1), 2^i - 1], with the top bucket capped at MaxInt64.
 const numBuckets = 64
 
+// NumBuckets is the fixed bucket count of every Histogram, exported
+// for callers (the telemetry recorder) that diff raw bucket counts
+// between sampling ticks without allocating.
+const NumBuckets = numBuckets
+
+// BucketUpper returns the inclusive upper bound of bucket i, the value
+// a quantile estimate reports for observations landing in that bucket.
+// Out-of-range i returns 0.
+func BucketUpper(i int) int64 {
+	if i < 0 || i >= numBuckets {
+		return 0
+	}
+	_, hi := bucketBounds(i)
+	return hi
+}
+
 // Histogram is a fixed-size log2-bucketed histogram of int64
 // observations — latencies in nanoseconds, ADU and segment sizes in
 // bytes. Log bucketing gives ~2x relative resolution over 18 decimal
@@ -80,6 +96,23 @@ func (h *Histogram) Observe(v int64) {
 // deterministic.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
+// ReadCounts copies the raw per-bucket counts into dst and returns the
+// total observation count, without allocating. It is the sampling-tick
+// read path for the telemetry recorder, which diffs successive reads
+// to get interval (not cumulative) distributions. A nil receiver
+// zeroes dst and returns 0. As with snapshot, concurrent observers may
+// land between loads; reads are exact once writers quiesce.
+func (h *Histogram) ReadCounts(dst *[NumBuckets]int64) (count int64) {
+	if h == nil {
+		*dst = [NumBuckets]int64{}
+		return 0
+	}
+	for i := range h.buckets {
+		dst[i] = h.buckets[i].Load()
+	}
+	return h.count.Load()
+}
+
 // Count returns the number of observations (0 on a nil receiver).
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -138,6 +171,23 @@ func (hv *HistogramValue) Mean() float64 {
 // upper bound of the bucket containing the q-th ranked observation,
 // clamped to the observed min/max. Within-bucket error is bounded by
 // the 2x bucket width.
+//
+// The exact contract, which the flight recorder's interval-quantile
+// series depends on:
+//
+//   - An empty histogram returns 0 for every q.
+//   - The rank is ceil(q*Count) clamped to at least 1, so q=0 (and any
+//     q small enough to round to rank 0) reports the bucket of the
+//     smallest observation — its upper bound, clamped to Max, NOT Min:
+//     the estimate is an upper bound even at q=0.
+//   - q=1 ranks the largest observation, and because the estimate is
+//     clamped to Max from above, Quantile(1) == Max exactly.
+//   - When all observations share one bucket, every q returns the same
+//     value: the bucket's upper bound clamped into [Min, Max] (equal to
+//     Max whenever the bucket bound exceeds it).
+//   - There is no within-bucket interpolation: the estimate never
+//     understates the true quantile, and never overstates it by more
+//     than the bucket width (a factor of 2 at the ranked value).
 func (hv *HistogramValue) Quantile(q float64) int64 {
 	if hv.Count == 0 {
 		return 0

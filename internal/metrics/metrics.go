@@ -123,6 +123,7 @@ func (g *Gauge) Value() int64 {
 
 // series is one registered (name, labels) entry.
 type series struct {
+	id     string // registry key: name plus sorted labels
 	name   string
 	labels []string // sorted "key=value" pairs
 	kind   Kind
@@ -140,6 +141,12 @@ type series struct {
 type Registry struct {
 	mu     sync.Mutex
 	series map[string]*series
+
+	// ordered caches the series sorted by ID for Visit. It is rebuilt
+	// lazily and invalidated by registration, so the steady state —
+	// register everything up front, then sample every tick — sorts
+	// once, not once per tick.
+	ordered []*series
 
 	// Scoped views (Scope): root points at the registry that owns mu
 	// and series; scope is appended to every registration's labels.
@@ -213,7 +220,9 @@ func (r *Registry) register(name string, labels []string, make func(ls []string)
 		return s
 	}
 	s := make(ls)
+	s.id = k
 	b.series[k] = s
+	b.ordered = nil
 	return s
 }
 
@@ -282,5 +291,49 @@ func (r *Registry) registerFunc(name string, kind Kind, fn func() int64, labels 
 	b := r.base()
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.series[k] = &series{name: name, labels: ls, kind: kind, fn: fn}
+	b.series[k] = &series{id: k, name: name, labels: ls, kind: kind, fn: fn}
+	b.ordered = nil
+}
+
+// Visit calls fn once per registered series, in ascending series-ID
+// order, with the series' current value. For counters and gauges
+// (native or func-backed) value carries the sample and h is nil; for
+// histograms h is the live *Histogram (read it with ReadCounts or
+// Count) and value is unused. The ID ordering is total — IDs are
+// unique map keys — so two visits over the same registry enumerate
+// identically, which is what the telemetry recorder's deterministic
+// ring layout relies on.
+//
+// fn runs outside the registry lock (func-backed series may read
+// arbitrary component state), mirroring the Snapshot contract: safe
+// against concurrent registration, unsynchronized against concurrent
+// writes to func-backed values. A nil registry visits nothing.
+func (r *Registry) Visit(fn func(id string, kind Kind, value int64, h *Histogram)) {
+	if r == nil {
+		return
+	}
+	b := r.base()
+	b.mu.Lock()
+	if b.ordered == nil {
+		b.ordered = make([]*series, 0, len(b.series))
+		for _, s := range b.series {
+			b.ordered = append(b.ordered, s)
+		}
+		sort.Slice(b.ordered, func(i, j int) bool { return b.ordered[i].id < b.ordered[j].id })
+	}
+	entries := b.ordered
+	b.mu.Unlock()
+
+	for _, s := range entries {
+		switch {
+		case s.hist != nil:
+			fn(s.id, s.kind, 0, s.hist)
+		case s.fn != nil:
+			fn(s.id, s.kind, s.fn(), nil)
+		case s.counter != nil:
+			fn(s.id, s.kind, s.counter.Value(), nil)
+		case s.gauge != nil:
+			fn(s.id, s.kind, s.gauge.Value(), nil)
+		}
+	}
 }

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -238,4 +239,172 @@ func TestMixedKindRegistration(t *testing.T) {
 		t.Error("kind-mismatched registration should return nil")
 	}
 	g.Set(3) // still safe
+}
+
+func TestTextExpositionDeterministicOrder(t *testing.T) {
+	// Series identity ordering must not depend on registration order or
+	// map iteration: the flight recorder's CSV and sparkline renderers
+	// golden-diff against this output.
+	build := func(names []string) string {
+		r := New()
+		for _, n := range names {
+			switch {
+			case strings.HasPrefix(n, "g."):
+				r.Gauge(n, "shard=1").Set(7)
+			case strings.HasPrefix(n, "h."):
+				r.Histogram(n).Observe(100)
+			default:
+				r.Counter(n, "stream=0").Add(3)
+			}
+		}
+		var b strings.Builder
+		if err := r.Snapshot().WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	names := []string{"c.bytes", "g.depth", "h.latency_ns", "c.adus", "g.rate"}
+	fwd := build(names)
+	rev := build([]string{"g.rate", "c.adus", "h.latency_ns", "g.depth", "c.bytes"})
+	if fwd != rev {
+		t.Fatalf("exposition depends on registration order:\n--- forward ---\n%s--- reverse ---\n%s", fwd, rev)
+	}
+	// And the rows really are sorted by ID.
+	var ids []string
+	for _, m := range New().Snapshot().Metrics {
+		ids = append(ids, m.ID())
+	}
+	r := New()
+	for _, n := range names {
+		r.Counter(n)
+	}
+	ids = ids[:0]
+	for _, m := range r.Snapshot().Metrics {
+		ids = append(ids, m.ID())
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Fatalf("snapshot IDs not sorted: %v", ids)
+	}
+}
+
+func TestVisitOrderAndValues(t *testing.T) {
+	r := New()
+	r.Counter("b.count").Add(5)
+	r.Gauge("a.level").Set(-3)
+	h := r.Histogram("c.lat_ns")
+	h.Observe(10)
+	h.Observe(1000)
+	r.GaugeFunc("a.fn", func() int64 { return 42 })
+
+	var ids []string
+	vals := map[string]int64{}
+	r.Visit(func(id string, kind Kind, v int64, hh *Histogram) {
+		ids = append(ids, id)
+		if hh != nil {
+			var counts [NumBuckets]int64
+			v = hh.ReadCounts(&counts)
+			if counts[bucketOf(10)] != 1 || counts[bucketOf(1000)] != 1 {
+				t.Errorf("ReadCounts missed observations: %v", counts)
+			}
+		}
+		vals[id] = v
+	})
+	want := []string{"a.fn", "a.level", "b.count", "c.lat_ns"}
+	if len(ids) != len(want) {
+		t.Fatalf("visited %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("visited %v, want %v", ids, want)
+		}
+	}
+	if vals["b.count"] != 5 || vals["a.level"] != -3 || vals["a.fn"] != 42 || vals["c.lat_ns"] != 2 {
+		t.Errorf("visit values = %v", vals)
+	}
+	// Nil registry visits nothing.
+	(*Registry)(nil).Visit(func(string, Kind, int64, *Histogram) { t.Error("nil registry visited a series") })
+}
+
+func TestVisitOrderedCacheInvalidation(t *testing.T) {
+	r := New()
+	r.Counter("z")
+	r.Visit(func(string, Kind, int64, *Histogram) {}) // build cache
+	r.Counter("a")                                    // must invalidate
+	var ids []string
+	r.Visit(func(id string, _ Kind, _ int64, _ *Histogram) { ids = append(ids, id) })
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "z" {
+		t.Fatalf("visit after registration = %v, want [a z]", ids)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: every quantile is 0.
+	empty := newHistogram().snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+
+	// Single observation: every quantile is that value (min/max clamp).
+	one := newHistogram()
+	one.Observe(100)
+	hv := one.snapshot()
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if got := hv.Quantile(q); got != 100 {
+			t.Errorf("single-value Quantile(%v) = %d, want 100", q, got)
+		}
+	}
+
+	// All observations in one bucket [64,127]: every quantile lands in
+	// it, clamped into [Min, Max] = [100, 120].
+	h := newHistogram()
+	h.Observe(100)
+	h.Observe(110)
+	h.Observe(120)
+	hv = h.snapshot()
+	if got := hv.Quantile(0); got != 120 {
+		t.Errorf("single-bucket Quantile(0) = %d, want bucket-upper clamped to Max=120", got)
+	}
+	if got := hv.Quantile(1); got != 120 {
+		t.Errorf("single-bucket Quantile(1) = %d, want Max=120", got)
+	}
+	if got := hv.Quantile(0.5); got != 120 {
+		t.Errorf("single-bucket Quantile(0.5) = %d, want bucket-upper clamped to 120", got)
+	}
+
+	// Two buckets: q=0 reports the smallest observation's bucket upper
+	// bound (the estimate is one-sided — never below the true value),
+	// q=1 reports Max exactly, and the midpoint reports the first
+	// bucket's upper bound.
+	h2 := newHistogram()
+	h2.Observe(10) // bucket [8,15]
+	h2.Observe(40) // bucket [32,63]
+	hv = h2.snapshot()
+	if got := hv.Quantile(0); got != 15 {
+		t.Errorf("Quantile(0) = %d, want smallest bucket upper 15", got)
+	}
+	if got := hv.Quantile(1); got != 40 {
+		t.Errorf("Quantile(1) = %d, want Max=40", got)
+	}
+	if got := hv.Quantile(0.5); got != 15 {
+		t.Errorf("Quantile(0.5) = %d, want first bucket upper 15", got)
+	}
+}
+
+func TestBucketUpperAndReadCountsNil(t *testing.T) {
+	if got := BucketUpper(bucketOf(100)); got != 127 {
+		t.Errorf("BucketUpper(bucketOf(100)) = %d, want 127", got)
+	}
+	if got := BucketUpper(-1); got != 0 {
+		t.Errorf("BucketUpper(-1) = %d, want 0", got)
+	}
+	if got := BucketUpper(NumBuckets); got != 0 {
+		t.Errorf("BucketUpper(NumBuckets) = %d, want 0", got)
+	}
+	var counts [NumBuckets]int64
+	counts[3] = 9 // must be zeroed by the nil read
+	if got := (*Histogram)(nil).ReadCounts(&counts); got != 0 || counts[3] != 0 {
+		t.Errorf("nil ReadCounts = %d, counts[3]=%d; want 0, 0", got, counts[3])
+	}
 }

@@ -377,6 +377,9 @@ func (l *Link) bindMetrics(r *metrics.Registry, idx int) {
 		r.CounterFunc(e.name, e.fn, lb)
 	}
 	r.GaugeFunc("netsim.link.queue_depth", func() int64 { return int64(l.queued) }, lb)
+	// The configured bound next to the live depth: the telemetry
+	// plane's queue-saturation detector reads the pair label-for-label.
+	r.GaugeFunc("netsim.link.queue_limit", func() int64 { return int64(l.cfg.QueueLimit) }, lb)
 	r.GaugeFunc("netsim.link.queue_max", func() int64 { return l.Stats.MaxQueue }, lb)
 	r.GaugeFunc("netsim.link.held_depth", func() int64 { return int64(len(l.held)) }, lb)
 	r.GaugeFunc("netsim.link.down", func() int64 {

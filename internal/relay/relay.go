@@ -190,8 +190,8 @@ type Relay struct {
 	down  *netsim.Link // toward the receiver (data direction)
 
 	store   map[key]*entry
-	order   []key // insertion order: deterministic iteration, oldest first
-	stored  int   // bytes in store
+	order   []key            // insertion order: deterministic iteration, oldest first
+	stored  int              // bytes in store
 	evicted map[key]struct{} // names shed/evicted/claimed downstream: do not re-store
 	cums    map[byte]uint64  // highest receiver frontier seen per stream
 	pending []key            // completions awaiting the batched custody ack
@@ -270,6 +270,9 @@ func (r *Relay) bindMetrics() {
 	reg.GaugeFunc("relay.stored_bytes", func() int64 { return int64(r.stored) }, lb)
 	reg.GaugeFunc("relay.stored_adus", func() int64 { return int64(len(r.store)) }, lb)
 	reg.GaugeFunc("relay.stored_peak_bytes", func() int64 { return st.MaxStoredBytes }, lb)
+	// The configured bound next to the live occupancy: the telemetry
+	// plane's near-capacity detector reads the pair label-for-label.
+	reg.GaugeFunc("relay.storage_limit_bytes", func() int64 { return int64(r.cfg.StorageLimit) }, lb)
 }
 
 // handle is the node handler: classify by wire type, forward, and run

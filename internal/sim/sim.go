@@ -240,6 +240,30 @@ func (s *Scheduler) step() {
 // returns. Queued events are preserved.
 func (s *Scheduler) Stop() { s.stopped = true }
 
+// Every schedules fn to run every d of virtual time, first firing at
+// Now+d. fn reports whether the series should continue: returning
+// false stops the recurrence and releases its event. Non-positive d
+// panics — a zero-period recurring event would freeze virtual time.
+//
+// The recurrence owns one Event struct for its whole life (re-armed
+// like a Timer), so a long-running periodic task — a telemetry
+// sampling tick, say — costs no allocation per firing. Because fn
+// decides continuation each firing, callers must bound the series
+// (by horizon, by Pending(), or both) or it will keep the queue
+// non-empty forever and starve drain loops that run until idle.
+func (s *Scheduler) Every(d Duration, fn func() bool) {
+	if d <= 0 {
+		panic(fmt.Sprintf("sim: Every with non-positive period %v", d))
+	}
+	var t *Timer
+	t = s.NewTimer(func() {
+		if fn() {
+			t.Reset(d)
+		}
+	})
+	t.Reset(d)
+}
+
 // Timer is a restartable one-shot timer bound to a scheduler, in the
 // mould of time.Timer but on virtual time. The zero value is unusable;
 // create timers with NewTimer. A timer owns one Event struct for its

@@ -464,3 +464,55 @@ func TestTimerResetWhilePendingKeepsOrder(t *testing.T) {
 		t.Errorf("clock = %v, want 2s", s.Now())
 	}
 }
+
+func TestEvery(t *testing.T) {
+	// The recurrence fires at d, 2d, 3d, ... and stops the first time fn
+	// returns false, leaving the queue drainable.
+	s := NewScheduler()
+	var at []Time
+	s.Every(time.Second, func() bool {
+		at = append(at, s.Now())
+		return len(at) < 3
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{Time(time.Second), Time(2 * time.Second), Time(3 * time.Second)}
+	if len(at) != len(want) {
+		t.Fatalf("fired %d times, want %d", len(at), len(want))
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Errorf("firing %d at %v, want %v", i, at[i], want[i])
+		}
+	}
+	if s.Pending() != 0 {
+		t.Errorf("queue not drained: %d pending", s.Pending())
+	}
+}
+
+func TestEveryDoesNotAllocatePerFiring(t *testing.T) {
+	// One Event struct serves the whole series: re-arming is free.
+	s := NewScheduler()
+	n := 0
+	s.Every(time.Millisecond, func() bool {
+		n++
+		return n < 1000
+	})
+	allocs := testing.AllocsPerRun(1, func() {
+		for s.Step() {
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Every allocates %.1f/op across firings", allocs)
+	}
+}
+
+func TestEveryPanicsOnNonPositivePeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	NewScheduler().Every(0, func() bool { return false })
+}

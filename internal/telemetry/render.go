@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ramp is the ASCII density ramp sparklines draw with, low to high.
+const ramp = " .:-=+*#%@"
+
+// WriteCSV renders the retained window as a wide CSV table: one row
+// per tick (tick index, virtual seconds), one column per series in ID
+// order. Series that appeared mid-window have empty cells before
+// their birth. A nil recorder writes only the header.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	series := r.Match("")
+	var b strings.Builder
+	b.WriteString("tick,time_s")
+	for _, s := range series {
+		b.WriteByte(',')
+		// Commas inside IDs (multi-label series) would split the column.
+		b.WriteString(strings.ReplaceAll(s.ID, ",", ";"))
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	if r == nil {
+		return nil
+	}
+	win := r.window()
+	for j := 0; j < win; j++ {
+		b.Reset()
+		fmt.Fprintf(&b, "%d,%.6f", r.ticks-win+j+1, sim.Time(r.times.at(j)).Seconds())
+		for _, s := range series {
+			b.WriteByte(',')
+			if sj := s.Len() - (win - j); sj >= 0 {
+				fmt.Fprintf(&b, "%d", s.At(sj))
+			}
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sparkline renders the last width samples of a series as an ASCII
+// density strip scaled to the window's min..max.
+func Sparkline(s *Series, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	n := s.Len()
+	if n == 0 {
+		return ""
+	}
+	if n > width {
+		n = width
+	}
+	lo, hi := s.At(s.Len()-n), s.At(s.Len()-n)
+	for i := s.Len() - n; i < s.Len(); i++ {
+		if v := s.At(i); v < lo {
+			lo = v
+		} else if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for i := s.Len() - n; i < s.Len(); i++ {
+		v := s.At(i)
+		idx := 0
+		if hi > lo {
+			idx = int(int64(len(ramp)-1) * (v - lo) / (hi - lo))
+		} else if v != 0 {
+			idx = len(ramp) / 2
+		}
+		b.WriteByte(ramp[idx])
+	}
+	return b.String()
+}
+
+// WriteSparklines renders every series whose ID contains filter ("" or
+// "all" for everything) as labeled sparkline timelines over the
+// retained window, followed by the incident log. width bounds the
+// strip length (default 60).
+func (r *Recorder) WriteSparklines(w io.Writer, filter string, width int) error {
+	if width <= 0 {
+		width = 60
+	}
+	series := r.Match(filter)
+	if r == nil || len(series) == 0 {
+		_, err := fmt.Fprintf(w, "no recorded series match %q\n", filter)
+		return err
+	}
+	win := r.window()
+	from, to := r.TimeAt(0), r.TimeAt(win-1)
+	if _, err := fmt.Fprintf(w, "flight record: %d ticks, %v .. %v (interval %v)\n",
+		r.ticks, from, to, r.cfg.Interval); err != nil {
+		return err
+	}
+	idW := 0
+	for _, s := range series {
+		if len(s.ID) > idW {
+			idW = len(s.ID)
+		}
+	}
+	for _, s := range series {
+		lo, hi := s.Last(), s.Last()
+		for i := 0; i < s.Len(); i++ {
+			if v := s.At(i); v < lo {
+				lo = v
+			} else if v > hi {
+				hi = v
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s| min=%d max=%d last=%d (%s)\n",
+			idW, s.ID, Sparkline(s, width), lo, hi, s.Last(), s.Kind); err != nil {
+			return err
+		}
+	}
+	return r.WriteIncidents(w)
+}
+
+// WriteIncidents renders the incident log, one line per incident.
+func (r *Recorder) WriteIncidents(w io.Writer) error {
+	if r == nil || len(r.incidents) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "incidents (%d", len(r.incidents)); err != nil {
+		return err
+	}
+	if r.incidentsDropped > 0 {
+		if _, err := fmt.Fprintf(w, ", %d older dropped", r.incidentsDropped); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "):"); err != nil {
+		return err
+	}
+	for _, inc := range r.incidents {
+		target := inc.Series
+		if target == "" {
+			target = "-"
+		}
+		if _, err := fmt.Fprintf(w, "  %12v  %-20s %s: %s\n", inc.At, inc.Detector, target, inc.Message); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,427 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// buildRun wires a registry with one of each instrument into a
+// scheduler that exercises them, and returns all three.
+func buildRun() (*sim.Scheduler, *metrics.Registry) {
+	s := sim.NewScheduler()
+	reg := metrics.New()
+	c := reg.Counter("run.bytes", "stream=0")
+	g := reg.Gauge("run.depth")
+	h := reg.Histogram("run.lat_ns")
+	// 10 events, one per 100ms: counter +100 each, gauge tracks the
+	// event index, histogram observes a growing latency.
+	for i := 1; i <= 10; i++ {
+		i := i
+		s.At(sim.Time(i)*sim.Time(100*time.Millisecond), func() {
+			c.Add(100)
+			g.Set(int64(i))
+			h.Observe(int64(i) * 1000)
+		})
+	}
+	return s, reg
+}
+
+func TestRecorderSamplesKinds(t *testing.T) {
+	s, reg := buildRun()
+	rec := New(Config{Interval: 200 * time.Millisecond, Capacity: 16})
+	rec.Bind(s, reg, sim.Time(time.Second))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Ticks at 200ms..1000ms: 5 ticks.
+	if rec.Ticks() != 5 {
+		t.Fatalf("ticks = %d, want 5", rec.Ticks())
+	}
+	if rec.LastTime() != sim.Time(time.Second) {
+		t.Errorf("last tick at %v, want 1s", rec.LastTime())
+	}
+
+	// Counter: two events per 200ms interval -> delta 200 every tick.
+	cs := rec.Series("run.bytes{stream=0}")
+	if cs == nil || cs.Kind != Delta {
+		t.Fatalf("counter series missing or wrong kind: %+v", cs)
+	}
+	for i := 0; i < cs.Len(); i++ {
+		if cs.At(i) != 200 {
+			t.Errorf("counter delta[%d] = %d, want 200", i, cs.At(i))
+		}
+	}
+
+	// Gauge: level at tick k (t = 200ms*k) is the last event index 2k.
+	gs := rec.Series("run.depth")
+	if gs == nil || gs.Kind != Level {
+		t.Fatalf("gauge series missing or wrong kind: %+v", gs)
+	}
+	for i := 0; i < gs.Len(); i++ {
+		if want := int64(2 * (i + 1)); gs.At(i) != want {
+			t.Errorf("gauge level[%d] = %d, want %d", i, gs.At(i), want)
+		}
+	}
+
+	// Histogram: derived |count (2 obs/interval) and quantile series.
+	hc := rec.Series("run.lat_ns|count")
+	if hc == nil || hc.Kind != Delta {
+		t.Fatalf("histogram count series missing: %+v", hc)
+	}
+	for i := 0; i < hc.Len(); i++ {
+		if hc.At(i) != 2 {
+			t.Errorf("interval count[%d] = %d, want 2", i, hc.At(i))
+		}
+	}
+	p99 := rec.Series("run.lat_ns|p99")
+	if p99 == nil || p99.Kind != Quantile {
+		t.Fatalf("p99 series missing: %+v", p99)
+	}
+	// First interval observes 1000 and 2000: p99 ranks 2000, whose
+	// bucket [1024,2047] upper bound is 2047.
+	if got := p99.At(0); got != 2047 {
+		t.Errorf("interval p99[0] = %d, want 2047", got)
+	}
+	// Interval quantiles reflect only that interval: the last interval
+	// observes 9000 and 10000 (buckets [8192,16383]), not the global
+	// min, so p50 there is far above early samples.
+	p50 := rec.Series("run.lat_ns|p50")
+	if got := p50.At(p50.Len() - 1); got != 16383 {
+		t.Errorf("final interval p50 = %d, want 16383", got)
+	}
+}
+
+func TestRecorderRingWrapKeepsTail(t *testing.T) {
+	s, reg := buildRun()
+	rec := New(Config{Interval: 100 * time.Millisecond, Capacity: 4})
+	rec.Bind(s, reg, sim.Time(time.Second))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Ticks() != 10 {
+		t.Fatalf("ticks = %d, want 10", rec.Ticks())
+	}
+	times := rec.Times()
+	if len(times) != 4 {
+		t.Fatalf("retained %d times, want 4", len(times))
+	}
+	if times[0] != sim.Time(700*time.Millisecond) || times[3] != sim.Time(time.Second) {
+		t.Errorf("retained window %v..%v, want 700ms..1s", times[0], times[3])
+	}
+	gs := rec.Series("run.depth")
+	if gs.Len() != 4 || gs.At(0) != 7 || gs.Last() != 10 {
+		t.Errorf("gauge window len=%d first=%d last=%d, want 4/7/10", gs.Len(), gs.At(0), gs.Last())
+	}
+}
+
+func TestRecorderStopsWhenQueueDrains(t *testing.T) {
+	// The recorder must never keep a run alive: once the workload's own
+	// events are done, the sampling series ends even before the horizon.
+	s := sim.NewScheduler()
+	reg := metrics.New()
+	reg.Counter("x").Add(1)
+	s.At(sim.Time(300*time.Millisecond), func() {})
+	rec := New(Config{Interval: 100 * time.Millisecond})
+	rec.Bind(s, reg, sim.Time(time.Hour))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("queue not drained: %d pending", s.Pending())
+	}
+	// Ticks at 100..300ms fire alongside the workload; the 300ms tick
+	// (after the last workload event) sees an otherwise-empty queue and
+	// stops the series.
+	if rec.Ticks() != 3 {
+		t.Errorf("ticks = %d, want 3", rec.Ticks())
+	}
+	if s.Now() >= sim.Time(time.Hour) {
+		t.Errorf("recorder dragged the run to its horizon: now=%v", s.Now())
+	}
+}
+
+func TestSeriesBornMidRunAligns(t *testing.T) {
+	s := sim.NewScheduler()
+	reg := metrics.New()
+	reg.Gauge("early").Set(1)
+	s.At(sim.Time(450*time.Millisecond), func() {
+		reg.Gauge("late").Set(9)
+	})
+	s.At(sim.Time(time.Second), func() {})
+	rec := New(Config{Interval: 100 * time.Millisecond, Capacity: 32})
+	rec.Bind(s, reg, sim.Time(time.Second))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	late := rec.Series("late")
+	if late == nil {
+		t.Fatal("late series not recorded")
+	}
+	// Born at the 500ms tick (tick 5 of 10): padded to full alignment.
+	if late.Len() != rec.Ticks() {
+		t.Fatalf("late series len %d, want %d (zero-padded)", late.Len(), rec.Ticks())
+	}
+	if late.At(0) != 0 || late.Last() != 9 {
+		t.Errorf("late series first=%d last=%d, want 0/9", late.At(0), late.Last())
+	}
+}
+
+func TestDetectorEdgeTriggering(t *testing.T) {
+	s := sim.NewScheduler()
+	reg := metrics.New()
+	depth := reg.Gauge("q.depth", "link=a->b/0")
+	reg.Gauge("q.limit", "link=a->b/0").Set(10)
+	// Saturated from 300ms to 700ms, then recovers.
+	s.At(sim.Time(300*time.Millisecond), func() { depth.Set(10) })
+	s.At(sim.Time(700*time.Millisecond), func() { depth.Set(1) })
+	s.At(sim.Time(time.Second), func() {})
+	rec := New(Config{
+		Interval:  100 * time.Millisecond,
+		Detectors: []Detector{&QueueSaturation{Series: "q.depth", LimitSeries: "q.limit", Ticks: 2}},
+	})
+	rec.Bind(s, reg, sim.Time(time.Second))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	incs := rec.Incidents()
+	if len(incs) != 2 {
+		t.Fatalf("incidents = %+v, want exactly fire+clear", incs)
+	}
+	// Saturation holds at ticks 300..600ms; the 2nd consecutive tick is
+	// 400ms. Recovery is seen at the 700ms tick.
+	if incs[0].Detector != "queue-saturation" || incs[0].At != sim.Time(400*time.Millisecond) {
+		t.Errorf("fire incident = %+v", incs[0])
+	}
+	if incs[1].Message != "cleared" || incs[1].At != sim.Time(700*time.Millisecond) {
+		t.Errorf("clear incident = %+v", incs[1])
+	}
+}
+
+func TestRateCollapseArming(t *testing.T) {
+	s := sim.NewScheduler()
+	reg := metrics.New()
+	c := reg.Counter("flow.bytes", "stream=0")
+	// Healthy 0..500ms (1000 bytes per 100ms = 10kB/s), then silence.
+	for i := 1; i <= 5; i++ {
+		s.At(sim.Time(i)*sim.Time(100*time.Millisecond), func() { c.Add(1000) })
+	}
+	s.At(sim.Time(time.Second)+sim.Time(200*time.Millisecond), func() {})
+	det := &RateCollapse{Series: "flow.bytes", FloorPerSec: 1000, Ticks: 3}
+	rec := New(Config{Interval: 100 * time.Millisecond, Detectors: []Detector{det}})
+	rec.Bind(s, reg, sim.Time(time.Second+200*time.Millisecond))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	incs := rec.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("incidents = %+v, want one collapse", incs)
+	}
+	// Below floor from the 600ms tick; 3rd consecutive is 800ms.
+	if incs[0].Detector != "rate-collapse" || incs[0].At != sim.Time(800*time.Millisecond) {
+		t.Errorf("collapse incident = %+v", incs[0])
+	}
+
+	// A flow that never reaches the floor must never arm.
+	s2 := sim.NewScheduler()
+	reg2 := metrics.New()
+	reg2.Counter("flow.bytes", "stream=0")
+	s2.At(sim.Time(time.Second), func() {})
+	rec2 := New(Config{Interval: 100 * time.Millisecond,
+		Detectors: []Detector{&RateCollapse{Series: "flow.bytes", FloorPerSec: 1000, Ticks: 3}}})
+	rec2.Bind(s2, reg2, sim.Time(time.Second))
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rec2.Incidents()); n != 0 {
+		t.Errorf("unarmed flow produced %d incidents", n)
+	}
+}
+
+func TestShardImbalanceDetector(t *testing.T) {
+	s := sim.NewScheduler()
+	reg := metrics.New()
+	hot := reg.Counter("ep.delivered", "shard=0")
+	reg.Counter("ep.delivered", "shard=1") // stays at zero
+	for i := 1; i <= 10; i++ {
+		s.At(sim.Time(i)*sim.Time(100*time.Millisecond), func() { hot.Add(100) })
+	}
+	det := &ShardImbalance{Series: "ep.delivered", MaxRatio: 4, Ticks: 2}
+	rec := New(Config{Interval: 100 * time.Millisecond, Detectors: []Detector{det}})
+	rec.Bind(s, reg, sim.Time(time.Second))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	incs := rec.Incidents()
+	if len(incs) != 1 || incs[0].Detector != "shard-imbalance" {
+		t.Fatalf("incidents = %+v, want one shard-imbalance", incs)
+	}
+	// Skew is visible from the first tick's deltas; the 2nd consecutive
+	// skewed tick is 200ms.
+	if incs[0].At != sim.Time(200*time.Millisecond) {
+		t.Errorf("imbalance fired at %v, want 200ms", incs[0].At)
+	}
+}
+
+func TestNoteAndIncidentCap(t *testing.T) {
+	rec := New(Config{MaxIncidents: 3})
+	for i := 0; i < 5; i++ {
+		rec.Note("soak", "", "violation %d", i)
+	}
+	incs := rec.Incidents()
+	if len(incs) != 3 || rec.IncidentsDropped() != 2 {
+		t.Fatalf("cap kept %d dropped %d, want 3/2", len(incs), rec.IncidentsDropped())
+	}
+	if incs[0].Message != "violation 2" || incs[2].Message != "violation 4" {
+		t.Errorf("cap dropped the wrong end: %+v", incs)
+	}
+}
+
+func TestDumpJSONRoundTrip(t *testing.T) {
+	s, reg := buildRun()
+	rec := New(Config{Interval: 200 * time.Millisecond, Capacity: 8})
+	rec.Bind(s, reg, sim.Time(time.Second))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Note("soak", "", "lost ADU 7")
+	var buf bytes.Buffer
+	if err := rec.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if d.Ticks != 5 || len(d.TimesNS) != 5 {
+		t.Errorf("dump ticks=%d times=%d, want 5/5", d.Ticks, len(d.TimesNS))
+	}
+	ids := map[string]bool{}
+	for _, ds := range d.Series {
+		ids[ds.ID] = true
+		if len(ds.Samples) != 5 {
+			t.Errorf("series %s has %d samples, want 5", ds.ID, len(ds.Samples))
+		}
+	}
+	for _, want := range []string{"run.bytes{stream=0}", "run.depth", "run.lat_ns|count", "run.lat_ns|p50", "run.lat_ns|p99"} {
+		if !ids[want] {
+			t.Errorf("dump missing series %s", want)
+		}
+	}
+	if len(d.Incidents) != 1 || d.Incidents[0].Message != "lost ADU 7" {
+		t.Errorf("dump incidents = %+v", d.Incidents)
+	}
+}
+
+func TestCSVAndSparklineRender(t *testing.T) {
+	s, reg := buildRun()
+	rec := New(Config{Interval: 200 * time.Millisecond})
+	rec.Bind(s, reg, sim.Time(time.Second))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := rec.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("CSV has %d lines, want header+5 ticks:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasPrefix(lines[0], "tick,time_s,run.bytes{stream=0},run.depth,") {
+		t.Errorf("CSV header = %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,0.200000,200,2,") {
+		t.Errorf("CSV first row = %s", lines[1])
+	}
+
+	var sp bytes.Buffer
+	if err := rec.WriteSparklines(&sp, "run.depth", 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sp.String()
+	if !strings.Contains(out, "run.depth") || !strings.Contains(out, "min=2 max=10 last=10") {
+		t.Errorf("sparkline output:\n%s", out)
+	}
+
+	// Determinism: rendering twice gives identical bytes.
+	var sp2 bytes.Buffer
+	if err := rec.WriteSparklines(&sp2, "run.depth", 40); err != nil {
+		t.Fatal(err)
+	}
+	if sp.String() != sp2.String() {
+		t.Error("sparkline render not deterministic")
+	}
+}
+
+func TestRecorderDeterminism(t *testing.T) {
+	// Two identical runs must produce bit-identical dumps — the unit
+	// half of the determinism contract (the sharded/worker-count half
+	// lives in internal/experiments).
+	run := func() []byte {
+		s, reg := buildRun()
+		rec := New(Config{
+			Interval:  100 * time.Millisecond,
+			Detectors: DefaultDetectors(1, 0, 0, 0),
+		})
+		rec.Bind(s, reg, sim.Time(time.Second))
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rec.WriteDump(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical runs produced different dumps")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Bind(sim.NewScheduler(), metrics.New(), sim.Time(time.Second))
+	r.Sample()
+	r.SampleAt(5)
+	r.Note("d", "s", "m")
+	if r.Ticks() != 0 || r.Interval() != 0 || r.LastTime() != 0 {
+		t.Error("nil recorder reports non-zero state")
+	}
+	if r.Series("x") != nil || r.Match("all") != nil || r.Times() != nil || r.Incidents() != nil {
+		t.Error("nil recorder returned non-nil collections")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteSparklines(&buf, "all", 40); err != nil {
+		t.Fatal(err)
+	}
+	r.Each(func(*Series) { t.Error("nil recorder visited a series") })
+	if (*Series)(nil).Len() != 0 || (*Series)(nil).Last() != 0 {
+		t.Error("nil series reports samples")
+	}
+}
+
+func TestSampleAtDeduplicates(t *testing.T) {
+	reg := metrics.New()
+	reg.Gauge("g").Set(1)
+	rec := New(Config{})
+	rec.Bind(nil, reg, 0)
+	rec.SampleAt(sim.Time(100))
+	rec.SampleAt(sim.Time(100)) // duplicate barrier: ignored
+	rec.SampleAt(sim.Time(200))
+	if rec.Ticks() != 2 {
+		t.Errorf("ticks = %d, want 2 (duplicate dropped)", rec.Ticks())
+	}
+}
