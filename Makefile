@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-json bench-flows bench-dtn fuzz soak soak-dtn alloc-guard check
+.PHONY: build test race vet lint bench bench-json bench-flows bench-dtn bench-crypto fuzz soak soak-dtn soak-udp alloc-guard check
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ test:
 # the workers write, and its barrier-sampled FlowScale determinism
 # test is part of the experiments run.
 race:
-	$(GO) test -race ./internal/metrics ./internal/core ./internal/otp ./internal/parallel ./internal/buf ./internal/netsim ./internal/sim ./internal/telemetry
+	$(GO) test -race ./internal/metrics ./internal/core ./internal/otp ./internal/parallel ./internal/buf ./internal/netsim ./internal/sim ./internal/telemetry ./internal/udplink
 	$(GO) test -race -run 'FlowScale' ./internal/experiments
 
 vet:
@@ -73,10 +73,29 @@ soak:
 soak-dtn:
 	$(GO) test -count=1 -run 'TestDTN' -v ./internal/faults/soak
 
+# The real-socket soak: authenticated ADU transfer across kernel
+# loopback UDP with deterministic send-side drops, asserting the same
+# exactly-once / intact / drained invariants as `make soak` — plus the
+# plain link round-trip and lossy-conn determinism checks.
+soak-udp:
+	$(GO) test -count=1 -v ./internal/udplink
+
 # Archive the DTN contrast (custody vs end-to-end over three seeds) as
 # BENCH_0007.json in the repo root.
 bench-dtn:
 	$(GO) run ./cmd/alfchaos -dtn -all -json BENCH_0007.json
+
+# Archive the crypto-plane numbers as BENCH_0008.json: the fused vs
+# staged ChaCha20-Poly1305 kernels across payload sizes (internal/ilp,
+# the headline is fused/staged >= 1.3x at 1 KiB), the cipher
+# primitives, the end-to-end suite contrast (SendSteadyState cleartext
+# vs scramble vs AEAD, all 0 allocs/op), and goodput over real
+# loopback UDP sockets. -benchtime 1s keeps the numbers steady enough
+# to diff across commits on a shared machine.
+bench-crypto:
+	$(GO) test -run '^$$' -bench 'AEAD|ChaCha20Block|XORKeyStream4KB|Poly1305_4KB|SendSteadyState|UDPLoopback' -benchtime 1s -benchmem \
+		./internal/ilp ./internal/cipher ./internal/core ./internal/udplink \
+		| $(GO) run ./cmd/benchjson -o BENCH_0008.json
 
 # Static analysis beyond vet. staticcheck is not vendored; the target
 # no-ops with a notice where the binary is absent (CI installs it).
@@ -95,4 +114,4 @@ alloc-guard:
 	$(GO) test -count=1 -run 'ZeroAlloc' -v ./internal/core
 	$(GO) test -run '^$$' -bench 'SendSteadyState|ReceivePath|FECSender|FECRepair|NetsimForward' -benchmem ./internal/core ./internal/netsim
 
-check: build vet test race fuzz soak soak-dtn alloc-guard
+check: build vet test race fuzz soak soak-dtn soak-udp alloc-guard

@@ -17,6 +17,13 @@
 //	alfbench -flows 1000000 -workers 8    # one point: F flows over 8 shards
 //	alfbench -flows 65536                 # sweep workers 1,2,4,8
 //	alfbench -flows 65536 -flowadus 8 -flowbytes 256
+//
+// Two more modes exercise the crypto plane:
+//
+//	alfbench -cipher                      # C1 only: fused vs staged AEAD kernels
+//	alfbench -udp                         # authenticated transfer over real
+//	                                      # loopback UDP sockets (must complete)
+//	alfbench -udp -udploss 0.05           # same, healing 5% send-side drops
 package main
 
 import (
@@ -29,11 +36,12 @@ import (
 	alf "repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/udplink"
 	"repro/internal/xcode"
 )
 
 var (
-	flagExperiment = flag.String("experiment", "all", "comma-separated experiment ids (t1,e2,e3,e4,e5,e6,f1,f2,f3,f4,f5,f6,f7,f8,f9,a1,a2,a3) or 'all'")
+	flagExperiment = flag.String("experiment", "all", "comma-separated experiment ids (t1,e2,e3,e4,e5,e6,f1,f2,f3,f4,f5,f6,f7,f8,f9,a1,a2,a3,c1) or 'all'")
 	flagQuick      = flag.Bool("quick", false, "shorter timing budgets (noisier numbers)")
 	flagCSV        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	flagSeed       = flag.Int64("seed", 1, "simulation seed")
@@ -42,16 +50,31 @@ var (
 	flagWorkers   = flag.Int("workers", 0, "flow-scale mode: shard/worker count (0 = sweep 1,2,4,8)")
 	flagFlowADUs  = flag.Int("flowadus", 4, "flow-scale mode: ADUs per flow")
 	flagFlowBytes = flag.Int("flowbytes", 512, "flow-scale mode: payload bytes per ADU")
+
+	flagCipher  = flag.Bool("cipher", false, "run only C1: fused vs staged ChaCha20-Poly1305 kernels")
+	flagUDP     = flag.Bool("udp", false, "UDP mode: authenticated ADU transfer over real loopback sockets")
+	flagUDPLoss = flag.Float64("udploss", 0, "UDP mode: send-side drop probability (SenderBuffered recovery must heal it)")
+	flagUDPADUs = flag.Int("udpadus", 200, "UDP mode: ADUs to transfer")
 )
 
 func main() {
 	flag.Parse()
+	if *flagUDP {
+		if err := runUDP(); err != nil {
+			fmt.Fprintf(os.Stderr, "alfbench: udp: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *flagFlows > 0 {
 		if err := runFlowScale(); err != nil {
 			fmt.Fprintf(os.Stderr, "alfbench: flow-scale: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *flagCipher {
+		*flagExperiment = "c1"
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*flagExperiment, ",") {
@@ -89,6 +112,7 @@ func main() {
 		{"a1", runner.a1},
 		{"a2", runner.a2},
 		{"a3", runner.a3},
+		{"c1", runner.c1},
 	}
 	ran := 0
 	for _, e := range exps {
@@ -424,6 +448,44 @@ func (r *runner) a2() error {
 	t.AddRow("out-of-band (5 ms batch)", oob.AcksSent, oob.AcksPerSeg, oob.GoodputMbps)
 	r.emit("A2 (ablation): in-band vs out-of-band acknowledgement control",
 		"reduce to a minimum the number of in-band control operations (§3)", t)
+	return nil
+}
+
+func (r *runner) c1() error {
+	rep := experiments.RunCrypto([]int{256, 1024, 4096, 16384}, r.minTime)
+	t := stats.NewTable("payload B", "staged enc+MAC Mb/s", "fused enc+MAC Mb/s",
+		"fused dec+verify Mb/s", "fused/staged x")
+	for _, p := range rep.Points {
+		t.AddRow(p.Bytes, p.StagedMbps, p.FusedMbps, p.DecryptMbps, p.Speedup)
+	}
+	t.AddRow("legacy scramble XOR (4 KiB)", rep.ScrambleMbps, "", "", "")
+	r.emit("C1: ChaCha20-Poly1305 — staged passes vs one fused ILP loop",
+		"encryption and integrity are both data manipulations (§4); fusing them into one memory pass recovers the second pass's bandwidth, and the Poly1305 tag then replaces the Internet checksum outright", t)
+	return nil
+}
+
+// runUDP moves an authenticated workload across real loopback UDP
+// sockets (internal/udplink): the same endpoints the simulator drives,
+// bound to kernel sockets, with the AEAD plane on. A run that violates
+// any soak invariant (duplicate, corrupt, lost, undrained) fails.
+func runUDP() error {
+	res, err := udplink.RunSoak(udplink.SoakConfig{
+		ADUs:     *flagUDPADUs,
+		LossProb: *flagUDPLoss,
+		Seed:     uint64(*flagSeed),
+		Suite:    alf.SuiteAEAD,
+	})
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("metric", "value")
+	t.AddRow("ADUs delivered (exactly once, intact)", res.Delivered)
+	t.AddRow("wire drops injected", res.WireDrops)
+	t.AddRow("ADUs retransmitted", res.Resent)
+	t.AddRow("tag failures", res.AuthFails)
+	t.AddRow("elapsed", res.Elapsed.Round(time.Millisecond).String())
+	(&runner{csv: *flagCSV}).emit("UDP: authenticated transfer over loopback sockets",
+		"the ALF endpoints are simulator-agnostic: the same state machines run over kernel UDP, fused AEAD and all, with recovery healing real drops", t)
 	return nil
 }
 

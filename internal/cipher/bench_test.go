@@ -1,0 +1,41 @@
+package cipher
+
+import "testing"
+
+func BenchmarkChaCha20Block(b *testing.B) {
+	key := ExpandKey(1)
+	var nonce [NonceSize]byte
+	var out [BlockSize]byte
+	b.SetBytes(BlockSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Block(&key, &nonce, uint32(i), &out)
+	}
+}
+
+func BenchmarkXORKeyStream4KB(b *testing.B) {
+	key := ExpandKey(2)
+	var nonce [NonceSize]byte
+	buf := make([]byte, 4096)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		XORKeyStream(&key, &nonce, 0, buf, buf)
+	}
+}
+
+func BenchmarkPoly1305_4KB(b *testing.B) {
+	var otk [KeySize]byte
+	for i := range otk {
+		otk[i] = byte(i)
+	}
+	buf := make([]byte, 4096)
+	var tag [TagSize]byte
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := NewMAC(&otk)
+		m.Update(buf)
+		m.Sum(tag[:])
+	}
+}

@@ -1,0 +1,254 @@
+// Package cipher implements RFC 8439 ChaCha20 and Poly1305 in pure Go
+// with no dependencies, shaped for Integrated Layer Processing: the
+// ChaCha20 block function is addressable by 64-byte block counter, so —
+// exactly like scramble.WordAt — any 8-byte-aligned fragment offset is
+// its own cryptographic synchronization point and ADU fragments can be
+// enciphered/deciphered out of order. internal/ilp fuses the keystream
+// generation, the layer-boundary copy, and the Poly1305 accumulation
+// into one loop over the payload (see ilp.FusedEncryptCopyMAC).
+//
+// The primitives here are the real RFC 8439 constructions (verified
+// against the RFC test vectors in vectors_test.go); the repo-specific
+// part is only how the transport assigns nonces and counters (see
+// internal/core). Unlike package scramble this IS a real cipher, but
+// the transport's key-management story (ExpandKey from a 64-bit
+// benchmark seed) is not: treat the integration as a measured datapath,
+// not a vetted secure channel.
+package cipher
+
+import "encoding/binary"
+
+const (
+	// KeySize is the ChaCha20 (and derived Poly1305) key size in bytes.
+	KeySize = 32
+	// NonceSize is the RFC 8439 96-bit nonce size in bytes.
+	NonceSize = 12
+	// BlockSize is the ChaCha20 keystream block size in bytes.
+	BlockSize = 64
+	// TagSize is the Poly1305 authenticator size in bytes.
+	TagSize = 16
+)
+
+// Key is an expanded ChaCha20 key: the eight little-endian 32-bit words
+// of the 256-bit key, ready to drop into the block-function state. It
+// is a value type so configs can embed it with no per-packet pointer
+// chasing or allocation.
+type Key struct {
+	k [8]uint32
+}
+
+// NewKey expands a 32-byte key.
+func NewKey(key *[KeySize]byte) Key {
+	var k Key
+	for i := range k.k {
+		k.k[i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	return k
+}
+
+// ExpandKey derives a 256-bit key from a 64-bit seed with a splitmix64
+// stream. It exists so configs keyed by a uint64 (the legacy scramble
+// convention) can opt into the AEAD suite without new plumbing; a seed
+// has only 64 bits of entropy, so use NewKey with a real key when the
+// key material matters.
+func ExpandKey(seed uint64) Key {
+	var k Key
+	s := seed
+	for i := 0; i < 4; i++ {
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+		z = (z ^ z>>27) * 0x94D049BB133111EB
+		z ^= z >> 31
+		k.k[2*i] = uint32(z)
+		k.k[2*i+1] = uint32(z >> 32)
+	}
+	return k
+}
+
+// Block computes one ChaCha20 block (RFC 8439 §2.3): 20 rounds over the
+// 4×4 word state [constants | key | counter nonce], plus the initial
+// state, serialized little-endian into out. It is the seekable
+// primitive everything else builds on: counter c yields keystream bytes
+// [64c, 64c+64) of the (key, nonce) stream.
+func Block(key *Key, nonce *[NonceSize]byte, counter uint32, out *[BlockSize]byte) {
+	n0 := binary.LittleEndian.Uint32(nonce[0:])
+	n1 := binary.LittleEndian.Uint32(nonce[4:])
+	n2 := binary.LittleEndian.Uint32(nonce[8:])
+
+	x0, x1, x2, x3 := uint32(0x61707865), uint32(0x3320646e), uint32(0x79622d32), uint32(0x6b206574)
+	x4, x5, x6, x7 := key.k[0], key.k[1], key.k[2], key.k[3]
+	x8, x9, x10, x11 := key.k[4], key.k[5], key.k[6], key.k[7]
+	x12, x13, x14, x15 := counter, n0, n1, n2
+
+	for i := 0; i < 10; i++ {
+		// Column round.
+		x0 += x4
+		x12 ^= x0
+		x12 = x12<<16 | x12>>16
+		x8 += x12
+		x4 ^= x8
+		x4 = x4<<12 | x4>>20
+		x0 += x4
+		x12 ^= x0
+		x12 = x12<<8 | x12>>24
+		x8 += x12
+		x4 ^= x8
+		x4 = x4<<7 | x4>>25
+
+		x1 += x5
+		x13 ^= x1
+		x13 = x13<<16 | x13>>16
+		x9 += x13
+		x5 ^= x9
+		x5 = x5<<12 | x5>>20
+		x1 += x5
+		x13 ^= x1
+		x13 = x13<<8 | x13>>24
+		x9 += x13
+		x5 ^= x9
+		x5 = x5<<7 | x5>>25
+
+		x2 += x6
+		x14 ^= x2
+		x14 = x14<<16 | x14>>16
+		x10 += x14
+		x6 ^= x10
+		x6 = x6<<12 | x6>>20
+		x2 += x6
+		x14 ^= x2
+		x14 = x14<<8 | x14>>24
+		x10 += x14
+		x6 ^= x10
+		x6 = x6<<7 | x6>>25
+
+		x3 += x7
+		x15 ^= x3
+		x15 = x15<<16 | x15>>16
+		x11 += x15
+		x7 ^= x11
+		x7 = x7<<12 | x7>>20
+		x3 += x7
+		x15 ^= x3
+		x15 = x15<<8 | x15>>24
+		x11 += x15
+		x7 ^= x11
+		x7 = x7<<7 | x7>>25
+
+		// Diagonal round.
+		x0 += x5
+		x15 ^= x0
+		x15 = x15<<16 | x15>>16
+		x10 += x15
+		x5 ^= x10
+		x5 = x5<<12 | x5>>20
+		x0 += x5
+		x15 ^= x0
+		x15 = x15<<8 | x15>>24
+		x10 += x15
+		x5 ^= x10
+		x5 = x5<<7 | x5>>25
+
+		x1 += x6
+		x12 ^= x1
+		x12 = x12<<16 | x12>>16
+		x11 += x12
+		x6 ^= x11
+		x6 = x6<<12 | x6>>20
+		x1 += x6
+		x12 ^= x1
+		x12 = x12<<8 | x12>>24
+		x11 += x12
+		x6 ^= x11
+		x6 = x6<<7 | x6>>25
+
+		x2 += x7
+		x13 ^= x2
+		x13 = x13<<16 | x13>>16
+		x8 += x13
+		x7 ^= x8
+		x7 = x7<<12 | x7>>20
+		x2 += x7
+		x13 ^= x2
+		x13 = x13<<8 | x13>>24
+		x8 += x13
+		x7 ^= x8
+		x7 = x7<<7 | x7>>25
+
+		x3 += x4
+		x14 ^= x3
+		x14 = x14<<16 | x14>>16
+		x9 += x14
+		x4 ^= x9
+		x4 = x4<<12 | x4>>20
+		x3 += x4
+		x14 ^= x3
+		x14 = x14<<8 | x14>>24
+		x9 += x14
+		x4 ^= x9
+		x4 = x4<<7 | x4>>25
+	}
+
+	binary.LittleEndian.PutUint32(out[0:], x0+0x61707865)
+	binary.LittleEndian.PutUint32(out[4:], x1+0x3320646e)
+	binary.LittleEndian.PutUint32(out[8:], x2+0x79622d32)
+	binary.LittleEndian.PutUint32(out[12:], x3+0x6b206574)
+	binary.LittleEndian.PutUint32(out[16:], x4+key.k[0])
+	binary.LittleEndian.PutUint32(out[20:], x5+key.k[1])
+	binary.LittleEndian.PutUint32(out[24:], x6+key.k[2])
+	binary.LittleEndian.PutUint32(out[28:], x7+key.k[3])
+	binary.LittleEndian.PutUint32(out[32:], x8+key.k[4])
+	binary.LittleEndian.PutUint32(out[36:], x9+key.k[5])
+	binary.LittleEndian.PutUint32(out[40:], x10+key.k[6])
+	binary.LittleEndian.PutUint32(out[44:], x11+key.k[7])
+	binary.LittleEndian.PutUint32(out[48:], x12+counter)
+	binary.LittleEndian.PutUint32(out[52:], x13+n0)
+	binary.LittleEndian.PutUint32(out[56:], x14+n1)
+	binary.LittleEndian.PutUint32(out[60:], x15+n2)
+}
+
+// XORKeyStream XORs src into dst with the keystream of (key, nonce)
+// starting at byte offset off of the stream that begins at block
+// counter 1 (counter 0 is reserved for one-time MAC keys, per RFC 8439
+// §2.8). off may be any byte offset; dst and src may alias. It
+// processes min(len(dst), len(src)) bytes and returns the count.
+// Encrypt and decrypt are the same operation.
+func XORKeyStream(key *Key, nonce *[NonceSize]byte, off int, dst, src []byte) int {
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	ctr := uint32(1 + off/BlockSize)
+	skip := off % BlockSize
+	var ks [BlockSize]byte
+	i := 0
+	for i < n {
+		Block(key, nonce, ctr, &ks)
+		ctr++
+		m := BlockSize - skip
+		if m > n-i {
+			m = n - i
+		}
+		j := 0
+		for ; m-j >= 8; j += 8 {
+			w := binary.LittleEndian.Uint64(src[i+j:]) ^ binary.LittleEndian.Uint64(ks[skip+j:])
+			binary.LittleEndian.PutUint64(dst[i+j:], w)
+		}
+		for ; j < m; j++ {
+			dst[i+j] = src[i+j] ^ ks[skip+j]
+		}
+		i += m
+		skip = 0
+	}
+	return n
+}
+
+// TagKey derives a Poly1305 one-time key: the first 32 bytes of the
+// ChaCha20 block at the given counter (RFC 8439 §2.6 uses counter 0;
+// the transport uses per-fragment counters in a disjoint range so each
+// fragment gets an independent one-time key — see internal/core).
+func TagKey(key *Key, nonce *[NonceSize]byte, counter uint32, out *[KeySize]byte) {
+	var blk [BlockSize]byte
+	Block(key, nonce, counter, &blk)
+	copy(out[:], blk[:KeySize])
+}

@@ -1,0 +1,181 @@
+package cipher
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\n', '\t', ':':
+			return -1
+		}
+		return r
+	}, s))
+	if err != nil {
+		t.Fatalf("bad hex: %v", err)
+	}
+	return b
+}
+
+func keyFrom(t *testing.T, s string) Key {
+	t.Helper()
+	b := unhex(t, s)
+	if len(b) != KeySize {
+		t.Fatalf("key is %d bytes", len(b))
+	}
+	var kb [KeySize]byte
+	copy(kb[:], b)
+	return NewKey(&kb)
+}
+
+func nonceFrom(t *testing.T, s string) [NonceSize]byte {
+	t.Helper()
+	b := unhex(t, s)
+	if len(b) != NonceSize {
+		t.Fatalf("nonce is %d bytes", len(b))
+	}
+	var n [NonceSize]byte
+	copy(n[:], b)
+	return n
+}
+
+// RFC 8439 §2.3.2: ChaCha20 block function test vector.
+func TestRFC8439BlockVector(t *testing.T) {
+	key := keyFrom(t, `00:01:02:03:04:05:06:07:08:09:0a:0b:0c:0d:0e:0f:10:11:12:13:14:15:16:17:18:19:1a:1b:1c:1d:1e:1f`)
+	nonce := nonceFrom(t, `00:00:00:09:00:00:00:4a:00:00:00:00`)
+	want := unhex(t, `
+		10 f1 e7 e4 d1 3b 59 15 50 0f dd 1f a3 20 71 c4
+		c7 d1 f4 c7 33 c0 68 03 04 22 aa 9a c3 d4 6c 4e
+		d2 82 64 46 07 9f aa 09 14 c2 d7 05 d9 8b 02 a2
+		b5 12 9c d1 de 16 4e b9 cb d0 83 e8 a2 50 3c 4e`)
+	var out [BlockSize]byte
+	Block(&key, &nonce, 1, &out)
+	if !bytes.Equal(out[:], want) {
+		t.Fatalf("block mismatch:\n got %x\nwant %x", out[:], want)
+	}
+}
+
+// RFC 8439 §2.4.2: ChaCha20 encryption of the sunscreen plaintext at
+// counter 1.
+func TestRFC8439EncryptVector(t *testing.T) {
+	key := keyFrom(t, `00:01:02:03:04:05:06:07:08:09:0a:0b:0c:0d:0e:0f:10:11:12:13:14:15:16:17:18:19:1a:1b:1c:1d:1e:1f`)
+	nonce := nonceFrom(t, `00:00:00:00:00:00:00:4a:00:00:00:00`)
+	plaintext := []byte("Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.")
+	want := unhex(t, `
+		6e 2e 35 9a 25 68 f9 80 41 ba 07 28 dd 0d 69 81
+		e9 7e 7a ec 1d 43 60 c2 0a 27 af cc fd 9f ae 0b
+		f9 1b 65 c5 52 47 33 ab 8f 59 3d ab cd 62 b3 57
+		16 39 d6 24 e6 51 52 ab 8f 53 0c 35 9f 08 61 d8
+		07 ca 0d bf 50 0d 6a 61 56 a3 8e 08 8a 22 b6 5e
+		52 bc 51 4d 16 cc f8 06 81 8c e9 1a b7 79 37 36
+		5a f9 0b bf 74 a3 5b e6 b4 0b 8e ed f2 78 5e 42
+		87 4d`)
+	got := make([]byte, len(plaintext))
+	XORKeyStream(&key, &nonce, 0, got, plaintext)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ciphertext mismatch:\n got %x\nwant %x", got, want)
+	}
+	// Decrypt round-trips.
+	back := make([]byte, len(got))
+	XORKeyStream(&key, &nonce, 0, back, got)
+	if !bytes.Equal(back, plaintext) {
+		t.Fatalf("decrypt round-trip failed")
+	}
+}
+
+// RFC 8439 §2.5.2: Poly1305 tag over the CFRG message.
+func TestRFC8439Poly1305Vector(t *testing.T) {
+	keyBytes := unhex(t, `85:d6:be:78:57:55:6d:33:7f:44:52:fe:42:d5:06:a8:01:03:80:8a:fb:0d:b2:fd:4a:bf:f6:af:41:49:f5:1b`)
+	var otk [KeySize]byte
+	copy(otk[:], keyBytes)
+	msg := []byte("Cryptographic Forum Research Group")
+	want := unhex(t, `a8:06:1d:c1:30:51:36:c6:c2:2b:8b:af:0c:01:27:a9`)
+
+	mac := NewMAC(&otk)
+	mac.Update(msg)
+	var tag [TagSize]byte
+	mac.Sum(tag[:])
+	if !bytes.Equal(tag[:], want) {
+		t.Fatalf("tag mismatch:\n got %x\nwant %x", tag[:], want)
+	}
+
+	// The digest must be split-invariant: feed the message in awkward
+	// pieces, including ones that straddle the 16-byte block boundary.
+	for _, cut := range []int{1, 5, 15, 16, 17, 33} {
+		m2 := NewMAC(&otk)
+		rest := msg
+		for len(rest) > 0 {
+			k := cut
+			if k > len(rest) {
+				k = len(rest)
+			}
+			m2.Update(rest[:k])
+			rest = rest[k:]
+		}
+		if !m2.Verify(want) {
+			t.Fatalf("split at %d: tag mismatch", cut)
+		}
+	}
+}
+
+// RFC 8439 §2.6.2: Poly1305 one-time key generation from ChaCha20.
+func TestRFC8439TagKeyVector(t *testing.T) {
+	key := keyFrom(t, `80 81 82 83 84 85 86 87 88 89 8a 8b 8c 8d 8e 8f 90 91 92 93 94 95 96 97 98 99 9a 9b 9c 9d 9e 9f`)
+	nonce := nonceFrom(t, `00 00 00 00 00 01 02 03 04 05 06 07`)
+	want := unhex(t, `
+		8a d5 a0 8b 90 5f 81 cc 81 50 40 27 4a b2 94 71
+		a8 33 b6 37 e3 fd 0d a5 08 db b8 e2 fd d1 a6 46`)
+	var otk [KeySize]byte
+	TagKey(&key, &nonce, 0, &otk)
+	if !bytes.Equal(otk[:], want) {
+		t.Fatalf("one-time key mismatch:\n got %x\nwant %x", otk[:], want)
+	}
+}
+
+// RFC 8439 §2.8.2: the full AEAD construction.
+func TestRFC8439AEADVector(t *testing.T) {
+	key := keyFrom(t, `80 81 82 83 84 85 86 87 88 89 8a 8b 8c 8d 8e 8f 90 91 92 93 94 95 96 97 98 99 9a 9b 9c 9d 9e 9f`)
+	nonce := nonceFrom(t, `07 00 00 00 40 41 42 43 44 45 46 47`)
+	aad := unhex(t, `50 51 52 53 c0 c1 c2 c3 c4 c5 c6 c7`)
+	plaintext := []byte("Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.")
+	wantCT := unhex(t, `
+		d3 1a 8d 34 64 8e 60 db 7b 86 af bc 53 ef 7e c2
+		a4 ad ed 51 29 6e 08 fe a9 e2 b5 a7 36 ee 62 d6
+		3d be a4 5e 8c a9 67 12 82 fa fb 69 da 92 72 8b
+		1a 71 de 0a 9e 06 0b 29 05 d6 a5 b6 7e cd 3b 36
+		92 dd bd 7f 2d 77 8b 8c 98 03 ae e3 28 09 1b 58
+		fa b3 24 e4 fa d6 75 94 55 85 80 8b 48 31 d7 bc
+		3f f4 de f0 8e 4b 7a 9d e5 76 d2 65 86 ce c6 4b
+		61 16`)
+	wantTag := unhex(t, `1a:e1:0b:59:4f:09:e2:6a:7e:90:2e:cb:d0:60:06:91`)
+
+	box := Seal(nil, &key, &nonce, plaintext, aad)
+	if !bytes.Equal(box[:len(box)-TagSize], wantCT) {
+		t.Fatalf("AEAD ciphertext mismatch:\n got %x\nwant %x", box[:len(box)-TagSize], wantCT)
+	}
+	if !bytes.Equal(box[len(box)-TagSize:], wantTag) {
+		t.Fatalf("AEAD tag mismatch:\n got %x\nwant %x", box[len(box)-TagSize:], wantTag)
+	}
+
+	pt, ok := Open(nil, &key, &nonce, box, aad)
+	if !ok || !bytes.Equal(pt, plaintext) {
+		t.Fatalf("Open failed: ok=%v", ok)
+	}
+	// Any single flipped bit must fail authentication.
+	for _, i := range []int{0, len(box) / 2, len(box) - 1} {
+		mut := append([]byte(nil), box...)
+		mut[i] ^= 0x40
+		if _, ok := Open(nil, &key, &nonce, mut, aad); ok {
+			t.Fatalf("Open accepted corrupted box (flip at %d)", i)
+		}
+	}
+	// Wrong AAD must fail.
+	if _, ok := Open(nil, &key, &nonce, box, aad[:len(aad)-1]); ok {
+		t.Fatal("Open accepted truncated aad")
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/buf"
+	"repro/internal/cipher"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/tracing"
@@ -136,6 +137,10 @@ var (
 	// nothing reached the wire; the application decides whether to
 	// retry, downgrade, or move on (§5).
 	ErrShed = errors.New("alf: droppable ADU shed under overload")
+	// ErrAuthFail is returned by Receiver.HandlePacket when a SuiteAEAD
+	// fragment's Poly1305 tag does not verify. The fragment is treated
+	// as lost: nothing is accounted and recovery re-requests the range.
+	ErrAuthFail = errors.New("alf: fragment failed authentication")
 )
 
 // Config parameterizes one stream. The same Config should be given to
@@ -154,8 +159,18 @@ type Config struct {
 	Policy Policy
 	// Key enables encryption when non-zero. Each ADU is enciphered
 	// under (Key, Name) with a position-addressable keystream, so ADUs
-	// and fragments decrypt in any order.
+	// and fragments decrypt in any order. Which cipher runs is chosen
+	// by Suite; under SuiteAEAD the 256-bit ChaCha20 key is expanded
+	// from this seed (cipher.ExpandKey).
 	Key uint64
+	// Suite selects the cipher stage. The zero value (SuiteAuto) keeps
+	// the historical behavior — scramble keystream when Key != 0,
+	// cleartext otherwise. SuiteAEAD switches the datapath to fused
+	// ChaCha20-Poly1305: fragments carry a 16-byte tag after the
+	// ciphertext, the tag replaces the Internet checksum as the
+	// integrity pass, and corrupt fragments are dropped and recovered
+	// like losses. Both ends must agree.
+	Suite CipherSuite
 	// NackDelay is how long the receiver waits after first noticing a
 	// gap before requesting recovery, to let reordering settle
 	// (default 20 ms).
@@ -287,6 +302,11 @@ type Config struct {
 	// look stale and the model could never form). Informational
 	// otherwise — the protocol measures, it does not assume (§3).
 	PathRTT sim.Duration
+	// aeadKey is the expanded ChaCha20 key, precomputed by fill when
+	// Suite resolves to SuiteAEAD so the per-fragment path never
+	// re-expands it.
+	aeadKey cipher.Key
+
 	// RecoveryFrac caps recovery traffic: retransmissions (SenderBuffered
 	// resends and AppRecompute regenerations) may consume at most this
 	// fraction of the current send rate, enforced by a token bucket
@@ -373,6 +393,18 @@ func (c *Config) Validate() error {
 				ErrConfig, wr.StaleAfter, c.PathRTT)
 		}
 	}
+	switch c.Suite {
+	case SuiteAuto, SuiteNone, SuiteScramble, SuiteAEAD:
+	default:
+		return fmt.Errorf("%w: unknown cipher suite %d", ErrConfig, c.Suite)
+	}
+	if (c.Suite == SuiteScramble || c.Suite == SuiteAEAD) && c.Key == 0 {
+		return fmt.Errorf("%w: suite %v requires a non-zero Key", ErrConfig, c.Suite)
+	}
+	if c.Suite == SuiteAEAD && c.MaxADU > aeadMaxADU {
+		return fmt.Errorf("%w: MaxADU %d exceeds the AEAD counter-domain limit %d",
+			ErrConfig, c.MaxADU, aeadMaxADU)
+	}
 	if c.Custody && c.Policy == AppRecompute {
 		return fmt.Errorf("%w: Custody with the app-recompute policy; there is no retained copy for a custody ack to release",
 			ErrConfig)
@@ -381,6 +413,16 @@ func (c *Config) Validate() error {
 }
 
 func (c *Config) fill() {
+	if c.Suite == SuiteAuto {
+		if c.Key != 0 {
+			c.Suite = SuiteScramble
+		} else {
+			c.Suite = SuiteNone
+		}
+	}
+	if c.Suite == SuiteAEAD {
+		c.aeadKey = cipher.ExpandKey(c.Key)
+	}
 	if c.MTU == 0 {
 		c.MTU = 1024 + HeaderSize
 	}
@@ -432,11 +474,15 @@ func (c *Config) fill() {
 }
 
 // fragPayload returns the usable payload bytes per fragment: the MTU
-// minus the header, rounded down to a multiple of 8 (the fused-kernel
-// alignment unit) and capped at what the 16-bit wire length field can
-// carry.
+// minus the header (and, under SuiteAEAD, the per-fragment tag),
+// rounded down to a multiple of 8 (the fused-kernel alignment unit)
+// and capped at what the 16-bit wire length field can carry.
 func (c *Config) fragPayload() int {
-	fp := (c.MTU - HeaderSize) &^ 7
+	budget := c.MTU - HeaderSize
+	if c.Suite == SuiteAEAD {
+		budget -= aeadTagSize
+	}
+	fp := budget &^ 7
 	if fp > 0xFFF8 {
 		fp = 0xFFF8
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/buf"
+	"repro/internal/cipher"
 	"repro/internal/ilp"
 	"repro/internal/scramble"
 	"repro/internal/sim"
@@ -24,6 +25,7 @@ type ReceiverStats struct {
 	ADUsLost      int64 // given up and reported to the application
 	OutOfOrder    int64 // ADUs delivered while a lower name was unsettled
 	ChecksumFails int64 // complete ADUs whose checksum failed
+	AuthFails     int64 // SuiteAEAD fragments whose Poly1305 tag failed
 	NacksSent     int64 // recovery requests (ADU names, total)
 	CtrlSent      int64 // control messages
 	Heartbeats    int64 // sender extent declarations processed
@@ -183,6 +185,13 @@ func (r *Receiver) HandlePacket(pkt []byte) error {
 	if h.Stream != r.cfg.StreamID {
 		return ErrWrongStream
 	}
+	if (h.Flags&flagAEAD != 0) != (r.cfg.Suite == SuiteAEAD) {
+		// Suites must agree end to end: a cleartext fragment arriving on
+		// an AEAD stream is unauthenticated input, and an AEAD fragment
+		// on a legacy stream cannot be verified.
+		r.Stats.HeaderDrops++
+		return fmt.Errorf("%w: cipher-suite flag mismatch", ErrBadHeader)
+	}
 	// Count the wire volume before the late/duplicate filters: the
 	// feedback loop measures what the network delivered, and a duplicate
 	// did cross the path. Corrupt packets are excluded — corruption is
@@ -224,8 +233,14 @@ func (r *Receiver) HandlePacket(pkt []byte) error {
 		return ErrInconsistent
 	}
 	payload := pkt[HeaderSize : HeaderSize+h.FragLen]
+	aead := h.Flags&flagAEAD != 0
 
 	if h.Flags&flagParity != 0 {
+		if aead && !r.verifyParityTag(h.Name, h.FragOff, payload,
+			pkt[HeaderSize+h.FragLen:HeaderSize+h.FragLen+aeadTagSize]) {
+			r.Stats.AuthFails++
+			return ErrAuthFail
+		}
 		r.handleParity(&h, p, payload)
 		if p.gotBytes >= p.total {
 			r.complete(h.Name, p)
@@ -237,7 +252,19 @@ func (r *Receiver) HandlePacket(pkt []byte) error {
 		r.Stats.DupFragments++
 		return nil
 	}
-	r.placeFragment(h.Name, p, h.FragOff, payload)
+	if aead {
+		if !r.placeAEAD(h.Name, p, h.FragOff, payload,
+			pkt[HeaderSize+h.FragLen:HeaderSize+h.FragLen+aeadTagSize]) {
+			// A fragment that fails authentication is a lost fragment:
+			// its range stays unaccounted (the plaintext bytes written
+			// into the reassembly buffer are dead until a verified copy
+			// overwrites them) and recovery re-requests the ADU.
+			r.Stats.AuthFails++
+			return ErrAuthFail
+		}
+	} else {
+		r.placeFragment(h.Name, p, h.FragOff, payload)
+	}
 	r.Stats.Fragments++
 	r.Stats.FragmentBytes += int64(h.FragLen)
 	r.cfg.Tracer.FragmentReceived(r.cfg.StreamID, h.Name, h.FragOff, h.FragLen, false)
@@ -307,6 +334,46 @@ func (r *Receiver) placeFragment(name uint64, p *partial, off int, payload []byt
 	r.m.ilpBytes.Add(int64(len(payload)))
 }
 
+// placeAEAD runs the SuiteAEAD stage-one pass for a data fragment:
+// decrypt-and-place fused with the Poly1305 accumulation over the
+// ciphertext, then verify the fragment's tag. The plaintext lands in
+// the reassembly buffer before the verdict, which is safe because the
+// range is only accounted as received on success — a forged fragment
+// leaves no trace in got/gotBytes and the range stays recoverable.
+func (r *Receiver) placeAEAD(name uint64, p *partial, off int, payload, tag []byte) bool {
+	nonce := aeadNonce(r.cfg.StreamID, name)
+	mac := newTagMAC(&r.cfg.aeadKey, &nonce, tagCtrData+uint32(off/8))
+	ilp.FusedDecryptCopyVerify(p.buf[off:off+len(payload)], payload, &r.cfg.aeadKey, &nonce, off, &mac)
+	if !mac.Verify(tag) {
+		return false
+	}
+	p.got[off] = len(payload)
+	p.gotBytes += len(payload)
+	r.m.ilpBytes.Add(int64(len(payload)))
+	return true
+}
+
+// placeAEADRecovered places an FEC-reconstructed ciphertext fragment.
+// No tag runs here: the bytes are authenticated transitively — the
+// parity blob's own tag verified, every surviving member's tag
+// verified, and XOR is the only arithmetic between them.
+func (r *Receiver) placeAEADRecovered(name uint64, p *partial, off int, payload []byte) {
+	nonce := aeadNonce(r.cfg.StreamID, name)
+	ilp.FusedDecryptCopyVerify(p.buf[off:off+len(payload)], payload, &r.cfg.aeadKey, &nonce, off, nil)
+	p.got[off] = len(payload)
+	p.gotBytes += len(payload)
+	r.m.ilpBytes.Add(int64(len(payload)))
+}
+
+// verifyParityTag checks an FEC parity fragment's Poly1305 tag, which
+// covers the parity blob (the XOR of the group's ciphertexts) itself.
+func (r *Receiver) verifyParityTag(name uint64, off int, blob, tag []byte) bool {
+	nonce := aeadNonce(r.cfg.StreamID, name)
+	mac := newTagMAC(&r.cfg.aeadKey, &nonce, tagCtrParity+uint32(off/8))
+	mac.Update(blob)
+	return mac.Verify(tag)
+}
+
 // groupStart returns the FEC group start offset for a fragment offset.
 func (r *Receiver) groupStart(off int) int {
 	group := r.cfg.FECGroup * r.cfg.fragPayload()
@@ -373,6 +440,7 @@ func (r *Receiver) tryReconstruct(name uint64, p *partial, gs int) {
 	// only; the pooled accumulator goes straight back after placement.
 	recon := r.cfg.Pool.Get(parity.Len())
 	rb := recon.Bytes()
+	nonce := aeadNonce(r.cfg.StreamID, name)
 	ilp.WordCopy(rb, parity.Bytes())
 	for off := gs; off < p.total && off < gs+r.cfg.FECGroup*fp; off += fp {
 		n, have := p.got[off]
@@ -380,12 +448,22 @@ func (r *Receiver) tryReconstruct(name uint64, p *partial, gs int) {
 			continue
 		}
 		ilp.XORWords(rb, p.buf[off:off+n])
-		if p.flags&flagEnciphered != 0 {
+		switch {
+		case p.flags&flagEnciphered != 0:
 			scramble.XORAt(r.cfg.Key^name, off, rb[:n])
+		case p.flags&flagAEAD != 0:
+			// p.buf holds plaintext; folding the ChaCha20 keystream back
+			// in turns the XORed plaintext into the member's ciphertext
+			// without a scratch copy, same as the scramble path.
+			cipher.XORKeyStream(&r.cfg.aeadKey, &nonce, off, rb[:n], rb[:n])
 		}
 	}
 	r.Stats.FECRecovered++
-	r.placeFragment(name, p, missingOff, rb[:missingLen])
+	if p.flags&flagAEAD != 0 {
+		r.placeAEADRecovered(name, p, missingOff, rb[:missingLen])
+	} else {
+		r.placeFragment(name, p, missingOff, rb[:missingLen])
+	}
 	recon.Release()
 }
 
@@ -451,7 +529,9 @@ func (r *Receiver) noteGapsUpTo(name uint64) {
 // either way.
 func (r *Receiver) complete(name uint64, p *partial) {
 	delete(r.partials, name)
-	if ilp.FinishSum(p.sum) != p.check {
+	// Under SuiteAEAD integrity was already settled per fragment by the
+	// Poly1305 tags; there is no ADU checksum to fold.
+	if p.flags&flagAEAD == 0 && ilp.FinishSum(p.sum) != p.check {
 		// A damaged ADU is a lost ADU (§5): discard it whole and let
 		// recovery request it again.
 		r.Stats.ChecksumFails++

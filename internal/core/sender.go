@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/buf"
+	"repro/internal/cipher"
 	"repro/internal/ilp"
 	"repro/internal/sim"
 	"repro/internal/xcode"
@@ -414,8 +415,11 @@ func (s *Sender) SendClass(tag uint64, syntax xcode.SyntaxID, data []byte, class
 // frags (data fragments interleaved with each group's parity, in
 // emission order) and returns the list and the ADU checksum.
 func (s *Sender) packetize(name uint64, data []byte, frags []wireFrag) ([]wireFrag, uint16) {
+	if s.cfg.Suite == SuiteAEAD {
+		return s.packetizeAEAD(name, data, frags), 0
+	}
 	frag := s.cfg.fragPayload()
-	keyed := s.cfg.Key != 0
+	keyed := s.cfg.Suite == SuiteScramble
 	var (
 		sum       uint64
 		parity    *buf.Ref // XOR accumulator for the current group
@@ -462,14 +466,82 @@ func (s *Sender) packetize(name uint64, data []byte, frags []wireFrag) ([]wireFr
 	return frags, ilp.FinishSum(sum)
 }
 
+// packetizeAEAD is the SuiteAEAD gather pass: each fragment's
+// ciphertext is produced straight into its pooled wire buffer while the
+// Poly1305 accumulator runs in the same fused loop (one load and one
+// store per word, §6), and the 16-byte tag lands right after the
+// ciphertext. FEC parity accumulates the XOR of the group's
+// ciphertexts — not the tags — and carries its own tag over the blob,
+// so a reconstructed fragment is authenticated transitively. There is
+// no ADU checksum: the tags are the integrity pass.
+func (s *Sender) packetizeAEAD(name uint64, data []byte, frags []wireFrag) []wireFrag {
+	frag := s.cfg.fragPayload()
+	nonce := aeadNonce(s.cfg.StreamID, name)
+	var (
+		parity    *buf.Ref // XOR-of-ciphertexts accumulator for the current group
+		parityOff int      // group start offset
+		parityLen int      // blob length (first, longest fragment of the group)
+		inGroup   int
+	)
+	headroom := HeaderSize + len(s.cfg.Encap)
+	off := 0
+	for {
+		n := len(data) - off
+		if n > frag {
+			n = frag
+		}
+		ref := s.cfg.Pool.GetHeadroom(n+aeadTagSize, headroom)
+		w := ref.Bytes()
+		mac := newTagMAC(&s.cfg.aeadKey, &nonce, tagCtrData+uint32(off/8))
+		ilp.FusedEncryptCopyMAC(w[:n], data[off:off+n], &s.cfg.aeadKey, &nonce, off, &mac)
+		mac.Sum(w[n : n+aeadTagSize])
+		frags = append(frags, wireFrag{ref: ref, off: off, n: n})
+		if s.cfg.FECGroup > 0 {
+			if inGroup == 0 {
+				parityOff, parityLen = off, n
+				parity = s.cfg.Pool.GetHeadroom(n+aeadTagSize, headroom)
+				ilp.WordCopy(parity.Bytes()[:n], w[:n])
+			} else {
+				ilp.XORWords(parity.Bytes()[:parityLen], w[:n])
+			}
+			inGroup++
+			if inGroup == s.cfg.FECGroup {
+				frags = append(frags, s.sealParity(&nonce, parity, parityOff, parityLen))
+				parity, inGroup = nil, 0
+			}
+		}
+		off += n
+		if off >= len(data) {
+			break
+		}
+	}
+	if inGroup > 0 && parity != nil {
+		frags = append(frags, s.sealParity(&nonce, parity, parityOff, parityLen))
+	}
+	return frags
+}
+
+// sealParity tags a completed FEC parity blob (the tag covers the blob
+// bytes themselves) and returns its wire fragment.
+func (s *Sender) sealParity(nonce *[cipher.NonceSize]byte, parity *buf.Ref, off, n int) wireFrag {
+	mac := newTagMAC(&s.cfg.aeadKey, nonce, tagCtrParity+uint32(off/8))
+	pb := parity.Bytes()
+	mac.Update(pb[:n])
+	mac.Sum(pb[n : n+aeadTagSize])
+	return wireFrag{ref: parity, off: off, n: n, parity: true}
+}
+
 // stamp prepends and fills each fragment's header in place: the
 // payload, already in its final position, never moves. Critical ADUs
 // carry flagCritical so intermediate custody relays can apply the
 // application's survival priority without decoding payloads.
 func (s *Sender) stamp(name, tag uint64, syntax xcode.SyntaxID, totalLen int, ck uint16, class Priority, frags []wireFrag) {
 	var flags byte
-	if s.cfg.Key != 0 {
+	switch s.cfg.Suite {
+	case SuiteScramble:
 		flags |= flagEnciphered
+	case SuiteAEAD:
+		flags |= flagAEAD
 	}
 	if class == Critical {
 		flags |= flagCritical
@@ -815,6 +887,9 @@ func (s *Sender) resend(name uint64) {
 			return
 		}
 		wireLen := saved.wireLen + len(saved.frags)*HeaderSize
+		if s.cfg.Suite == SuiteAEAD {
+			wireLen += len(saved.frags) * aeadTagSize
+		}
 		if !s.allowRecovery(wireLen, saved.class) {
 			return
 		}

@@ -55,6 +55,15 @@ const (
 	// custody store sheds and evicts non-Critical ADUs first, and the
 	// only place a relay can learn the class is the fragment header.
 	flagCritical = 1 << 2
+	// flagAEAD marks a SuiteAEAD fragment: the payload is ChaCha20
+	// ciphertext and a 16-byte Poly1305 tag follows it on the wire
+	// (total payload bytes = FragLen + aeadTagSize). The ADU-checksum
+	// header field is zero — the tag is the integrity pass. On a
+	// parity fragment the tag covers the parity blob itself (the XOR
+	// of the group's ciphertexts), so a reconstructed fragment is
+	// authenticated transitively by the parity tag and the surviving
+	// fragments' tags.
+	flagAEAD = 1 << 3
 )
 
 // header is the decoded DATA fragment header.
@@ -111,7 +120,11 @@ func parseHeader(pkt []byte) (header, error) {
 		FragLen:  int(binary.BigEndian.Uint16(pkt[28:30])),
 		ADUCheck: binary.BigEndian.Uint16(pkt[30:32]),
 	}
-	if len(pkt) < HeaderSize+h.FragLen {
+	need := HeaderSize + h.FragLen
+	if h.Flags&flagAEAD != 0 {
+		need += aeadTagSize
+	}
+	if len(pkt) < need {
 		return header{}, fmt.Errorf("%w: fragment truncated", ErrBadHeader)
 	}
 	if h.TotalLen < 0 || h.FragOff < 0 || h.FragOff+h.FragLen > h.TotalLen {

@@ -153,6 +153,20 @@ func FusedCopyChecksumDecrypt(dst, src []byte, ks *scramble.Keystream) uint16 {
 	var sum uint64
 	n := len(src)
 	i := 0
+	for ; n-i >= 32; i += 32 {
+		w0 := binary.LittleEndian.Uint64(src[i:]) ^ ks.Word64()
+		w1 := binary.LittleEndian.Uint64(src[i+8:]) ^ ks.Word64()
+		w2 := binary.LittleEndian.Uint64(src[i+16:]) ^ ks.Word64()
+		w3 := binary.LittleEndian.Uint64(src[i+24:]) ^ ks.Word64()
+		binary.LittleEndian.PutUint64(dst[i:], w0)
+		binary.LittleEndian.PutUint64(dst[i+8:], w1)
+		binary.LittleEndian.PutUint64(dst[i+16:], w2)
+		binary.LittleEndian.PutUint64(dst[i+24:], w3)
+		sum = sumWord(sum, w0)
+		sum = sumWord(sum, w1)
+		sum = sumWord(sum, w2)
+		sum = sumWord(sum, w3)
+	}
 	for ; n-i >= 8; i += 8 {
 		w := binary.LittleEndian.Uint64(src[i:]) ^ ks.Word64()
 		binary.LittleEndian.PutUint64(dst[i:], w)

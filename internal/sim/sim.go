@@ -118,6 +118,22 @@ func (s *Scheduler) Pending() int { return len(s.queue) }
 // Fired returns the total number of callbacks executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
+// NextAt returns the timestamp of the earliest pending event and
+// whether one exists. Cancelled events at the head of the queue are
+// discarded on the way, so a false/ok answer means the queue is truly
+// idle. Real-time drivers (internal/udplink) use this to sleep exactly
+// until the virtual schedule needs the CPU again.
+func (s *Scheduler) NextAt() (Time, bool) {
+	for len(s.queue) > 0 {
+		if s.queue[0].cancel {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0].at, true
+	}
+	return 0, false
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past (t < Now) panics: it is always a logic error in a simulation.
 func (s *Scheduler) At(t Time, fn func()) *Event {
